@@ -1,0 +1,48 @@
+"""§III-D scalability — |TX| grows quasi-linearly with n.
+
+Runs the full protocol at several network sizes (m scaled with n, committee
+size fixed) and fits the throughput exponent.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro import CycLedger, ProtocolParams
+from repro.metrics.fitting import r_squared_loglog, scaling_exponent
+
+
+def sweep():
+    configs = [(36, 2), (64, 4), (120, 8)]  # (n, m), c = 14 fixed
+    ns, packed, msgs = [], [], []
+    for n, m in configs:
+        params = ProtocolParams(
+            n=n, m=m, lam=2, referee_size=8, seed=3,
+            users_per_shard=48, tx_per_committee=8, cross_shard_ratio=0.2,
+        )
+        ledger = CycLedger(params)
+        reports = ledger.run(2)
+        ns.append(n)
+        packed.append(sum(r.packed for r in reports))
+        msgs.append(sum(r.messages for r in reports))
+    return ns, packed, msgs
+
+
+def test_scalability(benchmark):
+    ns, packed, msgs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    exponent = scaling_exponent(ns, packed)
+    fit_quality = r_squared_loglog(ns, packed)
+    rows = [
+        (n, p, m) for n, p, m in zip(ns, packed, msgs)
+    ]
+    print_table(
+        "Scalability: packed transactions over 2 rounds vs n (c fixed)",
+        ["n", "|TX| packed", "messages"],
+        rows,
+    )
+    print(f"throughput exponent: {exponent:.2f} (quasi-linear claim: ~1), "
+          f"R²={fit_quality:.3f}")
+    # |TX| grows quasi-linearly with n: exponent near 1.
+    assert 0.7 < exponent < 1.3
+    assert fit_quality > 0.9
+    assert packed[-1] > 2.5 * packed[0]

@@ -1,0 +1,151 @@
+"""Table II — measured per-phase, per-role complexity scaling.
+
+Runs full protocol rounds at several network sizes, collects the
+phase/role-tagged message counters, fits power-law exponents, and compares
+them with Table II's claimed classes.
+
+Two sweeps isolate the two variables:
+* **c-sweep** (m fixed, committee size growing): validates the O(c)/O(c²)
+  claims for common and key members;
+* **m-sweep** (c fixed, more committees): validates the O(m²) referee
+  traffic in semi-commitment exchange.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro import CycLedger, ProtocolParams
+from repro.metrics.counters import Roles
+from repro.metrics.fitting import scaling_exponent
+
+
+def run_once(n: int, m: int, lam: int = 2, referee: int = 8, seed: int = 1):
+    params = ProtocolParams(
+        n=n, m=m, lam=lam, referee_size=referee, seed=seed,
+        users_per_shard=24, tx_per_committee=6, cross_shard_ratio=0.25,
+    )
+    ledger = CycLedger(params)
+    ledger.run_round()
+    metrics = ledger.metrics
+    counts = {}
+    c = params.committee_size
+    role_counts = {
+        Roles.COMMON: m * (c - 1 - lam),
+        Roles.KEY: m * (1 + lam),
+        Roles.REFEREE: referee,
+    }
+    for (phase, role), cell in metrics.cells.items():
+        denom = max(role_counts.get(role, 1), 1)
+        counts[(phase, role)] = {
+            "messages": cell.messages / denom,
+            "bytes": cell.bytes / denom,
+        }
+    return counts
+
+
+def c_sweep():
+    """m=2 fixed; c grows 14 -> 56."""
+    ns, results = [], []
+    for n in (36, 64, 120):
+        counts = run_once(n, m=2)
+        ns.append(n)
+        results.append(counts)
+    return ns, results
+
+
+def m_sweep():
+    """c = 14 fixed; m grows 2 -> 12.
+
+    A small referee committee (4) keeps the constant C_R-internal consensus
+    traffic from diluting the O(m²) redistribution term at bench scale.
+    """
+    ms, results = [], []
+    for m in (2, 6, 12):
+        counts = run_once(4 + 14 * m, m=m, referee=4)
+        ms.append(m)
+        results.append(counts)
+    return ms, results
+
+
+def fitted(xs, results, phase, role, kind="messages"):
+    ys = [r.get((phase, role), {}).get(kind, 0.0) for r in results]
+    if any(y <= 0 for y in ys):
+        return None
+    return scaling_exponent(xs, ys)
+
+
+def test_table2_c_sweep(benchmark):
+    ns, results = benchmark.pedantic(c_sweep, rounds=1, iterations=1)
+    rows = []
+    # (phase, role, metric, claimed exponent in c).  Byte counters carry the
+    # O(c²) claims (c responses × c-sized member lists / vote matrices).
+    claims = [
+        ("config", Roles.COMMON, "messages", 1.0),
+        ("config", Roles.KEY, "bytes", 2.0),
+        ("intra", Roles.COMMON, "bytes", 1.0),  # one vote vector of length D
+        ("intra", Roles.KEY, "bytes", 1.0),
+        ("reputation", Roles.COMMON, "messages", 1.0),
+        ("block", Roles.KEY, "messages", 1.0),
+    ]
+    for phase, role, kind, claimed in claims:
+        measured = fitted(ns, results, phase, role, kind)
+        if measured is None:
+            continue
+        rows.append((phase, role, kind, f"{claimed:+.1f}", f"{measured:+.2f}"))
+    print_table(
+        "Table II c-sweep (m=2, c = 14→56): per-node exponents vs c",
+        ["phase", "role", "metric", "claimed", "measured"], rows,
+    )
+    lookup = {(r[0], r[1]): float(r[4]) for r in rows}
+    # Key members in configuration: O(c²) per the paper; allow generous slack
+    # because constants and the λ-sized partial sets perturb small sweeps.
+    assert lookup[("config", Roles.KEY)] > 1.5
+    # Common members in configuration: O(c).
+    assert 0.5 < lookup[("config", Roles.COMMON)] < 1.7
+
+
+def test_table2_m_sweep(benchmark):
+    ms, results = benchmark.pedantic(m_sweep, rounds=1, iterations=1)
+    rows = []
+    for phase, role, kind, claimed in [
+        ("semicommit", Roles.REFEREE, "bytes", 2.0),
+        ("inter", Roles.COMMON, "messages", 1.0),
+        ("block", Roles.REFEREE, "messages", 1.0),
+    ]:
+        measured = fitted(ms, results, phase, role, kind)
+        if measured is not None:
+            rows.append((phase, role, kind, f"{claimed:+.1f}", f"{measured:+.2f}"))
+    print_table(
+        "Table II m-sweep (c=14, m = 2→12): per-node exponents vs m",
+        ["phase", "role", "metric", "claimed", "measured"], rows,
+    )
+    lookup = {(r[0], r[1]): float(r[4]) for r in rows}
+    # Referee semi-commitment traffic grows superlinearly in m (O(m²) claim:
+    # every rm re-broadcasts all m commitments to all m committees).  The
+    # exponent approaches 2 from below as the constant C_R-internal
+    # consensus traffic is amortized.
+    assert lookup[("semicommit", Roles.REFEREE)] > 1.3
+
+
+def test_storage_rows(benchmark):
+    """Storage high-water marks per role at one configuration."""
+
+    def measure():
+        params = ProtocolParams(
+            n=64, m=4, lam=2, referee_size=8, seed=2,
+            users_per_shard=24, tx_per_committee=6,
+        )
+        ledger = CycLedger(params)
+        ledger.run_round()
+        return ledger.metrics
+
+    metrics = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [
+        (phase, role, cell.storage)
+        for (phase, role), cell in sorted(metrics.cells.items())
+        if cell.storage > 0
+    ]
+    print_table("storage high-water marks (items)", ["phase", "role", "items"], rows)
+    assert metrics.storage_in("config", Roles.COMMON) >= 14 - 2
+    assert metrics.storage_in("block", Roles.REFEREE) > 0

@@ -1,0 +1,18 @@
+"""Benchmark helpers: compact table printing."""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Render a small fixed-width table to stdout (visible with -s; also
+    captured into the bench logs)."""
+    widths = [
+        max(len(str(headers[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Dishonest leaders: detection, impeachment and leader re-selection.
+
+The scenario Table I's "High Efficiency w.r.t Dishonest Leaders" row is
+about: a third of the nodes are corrupted; any of them that becomes a
+committee leader equivocates inside Algorithm 3.  The partial set catches
+the leader-signed contradiction, the committee votes the impeachment, the
+referee committee confirms it (Algorithm 6), the accusing partial member
+takes over, and the round still produces a block.
+
+Run:  python examples/dishonest_leaders.py
+"""
+
+import numpy as np
+
+from repro import AdversaryConfig, CycLedger, ProtocolParams
+
+
+def main() -> None:
+    params = ProtocolParams(
+        n=48,
+        m=3,
+        lam=2,
+        referee_size=6,
+        seed=1,  # a seed where corrupted nodes do become leaders
+        users_per_shard=32,
+        tx_per_committee=8,
+        cross_shard_ratio=0.25,
+    )
+    adversary = AdversaryConfig(
+        fraction=0.30,
+        leader_strategy="equivocating_leader",
+        voter_strategy="contrary_voter",
+    )
+    ledger = CycLedger(params, adversary=adversary)
+    print(f"adversary controls {ledger.adversary.count}/{params.n} nodes "
+          f"(< 1/3): corrupted leaders equivocate, corrupted members vote "
+          f"contrarily\n")
+
+    for report in ledger.run(rounds=4):
+        flags = []
+        if report.intra.equivocation_detected:
+            flags.append(f"equivocation in C{report.intra.equivocation_detected}")
+        if report.intra.censorship_detected:
+            flags.append(f"censorship in C{report.intra.censorship_detected}")
+        if report.intra.silence_detected:
+            flags.append(f"silence in C{report.intra.silence_detected}")
+        print(f"round {report.round_number}: packed {report.packed:>3}, "
+              f"recoveries {report.recoveries}, "
+              f"block {'OK' if report.block else 'VOID'}"
+              + (f"  [{'; '.join(flags)}]" if flags else ""))
+
+    print(f"\nchain grew to {len(ledger.chain)} blocks despite the attack; "
+          f"links valid: {ledger.chain.verify()}")
+
+    grouped = ledger.reputation_by_behavior()
+    print("\nreputation by behaviour (the incentive layer at work):")
+    for name, values in sorted(grouped.items()):
+        print(f"  {name:22s} mean {np.mean(values):+7.3f}   n={len(values)}")
+    print("\nfaulty ex-leaders also took the cube-root punishment (§VII-B).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: run a small CycLedger deployment for a few rounds.
+
+Builds a 64-node network (4 committees of 14, referee committee of 8,
+partial sets of 3), feeds it a mixed intra/cross-shard workload with a few
+invalid transactions, and prints what each round produced.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CycLedger, ProtocolParams
+
+
+def main() -> None:
+    params = ProtocolParams(
+        n=64,
+        m=4,
+        lam=3,
+        referee_size=8,
+        seed=2024,
+        users_per_shard=32,
+        tx_per_committee=10,
+        cross_shard_ratio=0.25,
+        invalid_ratio=0.10,
+    )
+    ledger = CycLedger(params)
+    print(
+        f"CycLedger: n={params.n}, m={params.m} committees of "
+        f"c={params.committee_size}, lambda={params.lam}, "
+        f"|C_R|={params.referee_size}"
+    )
+    print(f"{'round':>5} {'submitted':>9} {'packed':>6} {'cross':>5} "
+          f"{'fees':>5} {'msgs':>7} {'sim time':>8}")
+    for report in ledger.run(rounds=5):
+        print(
+            f"{report.round_number:>5} {report.submitted:>9} "
+            f"{report.packed:>6} {report.cross_packed:>5} "
+            f"{report.blockgen.total_fees:>5} {report.messages:>7} "
+            f"{report.sim_time:>8.1f}"
+        )
+
+    print(f"\nchain: {len(ledger.chain)} blocks, "
+          f"{ledger.total_packed()} transactions, "
+          f"links valid: {ledger.chain.verify()}")
+    head = ledger.chain.head
+    print(f"head block: {head!r}")
+    print(f"next-round leaders (by reputation): "
+          f"{[pk[:8] for pk in head.leaders]}")
+    top = sorted(ledger.reputation.items(), key=lambda kv: -kv[1])[:5]
+    print("top reputation:")
+    for pk, rep in top:
+        print(f"  {pk[:12]}…  {rep:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Reputation economics: capacity, scores, and the fee market.
+
+Models a heterogeneous population — strong validators, mid-tier nodes,
+barely-online stragglers and a clique of contrary voters — and traces how
+the cosine scoring (Eq. 1), the g(x) map (Eq. 2) and proportional fee
+distribution (§IV-G) split the revenue between them over several rounds.
+
+Run:  python examples/reputation_economics.py
+"""
+
+import numpy as np
+
+from repro import AdversaryConfig, CycLedger, ProtocolParams
+from repro.core.reputation import g
+
+
+def capacity_profile(node_id: int, rng: np.random.Generator) -> int:
+    tier = node_id % 10
+    if tier < 6:
+        return 10_000  # strong validator
+    if tier < 8:
+        return 5  # mid-tier
+    return 1  # straggler: judges one transaction per round
+
+
+def tier_name(capacity: int) -> str:
+    return {10_000: "strong", 5: "mid", 1: "straggler"}[capacity]
+
+
+def main() -> None:
+    params = ProtocolParams(
+        n=64,
+        m=4,
+        lam=3,
+        referee_size=8,
+        seed=11,
+        users_per_shard=48,
+        tx_per_committee=10,
+        invalid_ratio=0.15,
+    )
+    adversary = AdversaryConfig(fraction=0.15, voter_strategy="contrary_voter")
+    ledger = CycLedger(params, adversary=adversary, capacity_fn=capacity_profile)
+
+    fees_total = 0
+    for report in ledger.run(rounds=4):
+        fees_total += report.blockgen.total_fees
+
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    for node in ledger.nodes.values():
+        if ledger.adversary.is_corrupted(node.node_id):
+            label = "contrary voter"
+        else:
+            label = tier_name(node.capacity)
+        buckets.setdefault(label, []).append(
+            (ledger.reputation[node.pk], ledger.rewards.get(node.pk, 0.0))
+        )
+
+    print(f"{fees_total} units of transaction fees distributed over 4 rounds\n")
+    print(f"{'group':>15} {'n':>3} {'mean rep':>9} {'g(rep)':>7} "
+          f"{'mean reward':>11} {'share/node':>10}")
+    total_reward = sum(ledger.rewards.values())
+    for label in ("strong", "mid", "straggler", "contrary voter"):
+        entries = buckets.get(label, [])
+        if not entries:
+            continue
+        reps = np.array([r for r, _ in entries])
+        rewards = np.array([w for _, w in entries])
+        share = rewards.mean() / total_reward if total_reward else 0.0
+        print(f"{label:>15} {len(entries):>3} {reps.mean():>+9.3f} "
+              f"{float(np.mean(g(reps))):>7.3f} {rewards.mean():>11.3f} "
+              f"{share:>10.2%}")
+
+    print("\ntakeaways (§VII):")
+    print(" * reward ordering follows honest computing power;")
+    print(" * stragglers (rep ~ 0, g(0)=1) still earn a little;")
+    print(" * contrary voters sink below everyone — doing nothing beats "
+          "doing wrong.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Security study: how big do committees and partial sets need to be?
+
+Reproduces the analysis behind Fig. 5 and §V interactively: plots the exact
+committee-failure probability against the paper's bounds, finds the minimum
+committee size for a target security level, and sizes the partial set.
+
+Run:  python examples/security_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.plotting import ascii_bars, ascii_plot
+from repro.analysis.security import (
+    committee_failure_exact,
+    committee_failure_kl_bound,
+    committee_failure_simple_bound,
+    minimum_committee_size,
+    partial_set_failure,
+    union_bound,
+)
+
+N, T, M = 2000, 666, 10  # Fig. 5's population, one-third malicious
+
+
+def main() -> None:
+    cs = np.arange(20, 301, 10)
+    print(ascii_plot(
+        cs,
+        {
+            "exact tail": committee_failure_exact(N, T, cs),
+            "KL bound (Eq.3)": committee_failure_kl_bound(N, T, cs),
+            "e^{-c/12} (Eq.4)": committee_failure_simple_bound(cs),
+        },
+        logy=True,
+        title=f"Fig. 5 reproduction: P[committee >= half malicious], "
+              f"n={N}, t={T}",
+    ))
+
+    print("\npaper anchor check at c = 240:")
+    exact240 = float(committee_failure_exact(N, T, 240))
+    eq4 = float(committee_failure_simple_bound(240))
+    print(f"  exact tail       : {exact240:.3e}")
+    print(f"  e^(-240/12)      : {eq4:.3e}   <- the paper's '2.1e-9'")
+    print(f"  m=20 union bound : {float(union_bound(exact240, 20)):.3e}")
+
+    print("\nminimum committee size for target per-committee failure:")
+    for target in (1e-3, 1e-6, 1e-9):
+        c_needed = minimum_committee_size(N, T, target)
+        print(f"  target {target:.0e}  ->  c >= {c_needed}")
+
+    print("\npartial-set sizing ((1/3)^λ, m=10 union bound):")
+    lams = [10, 20, 30, 40]
+    per_set = [float(partial_set_failure(lam)) for lam in lams]
+    print(ascii_bars(
+        [f"λ={lam}" for lam in lams],
+        [-np.log10(p) for p in per_set],
+        title="security level in -log10(failure probability)",
+    ))
+    print(f"\nλ=40 (the paper's choice): per-set {per_set[-1]:.2e}, "
+          f"any-of-{M} {float(union_bound(per_set[-1], M)):.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""CycLedger reproduction.
+
+A full executable reproduction of *CycLedger: A Scalable and Secure Parallel
+Protocol for Distributed Ledger via Sharding* (Zhang, Li, Chen, Chen, Deng —
+IPDPS 2020, arXiv:2001.06778), including every substrate the paper assumes:
+
+* :mod:`repro.crypto` — PKI, signatures, VRF, semi-commitments, a real
+  SCRAPE-style PVSS random beacon, PoW admission puzzles;
+* :mod:`repro.net` — discrete-event network simulator with the paper's
+  Δ/Γ/partial-synchrony channel classes and strict topology enforcement;
+* :mod:`repro.ledger` — UTXO transactions, the authentication function V,
+  shard states, blocks/chain, and a synthetic workload generator;
+* :mod:`repro.core` — the protocol itself: sortition, committee
+  configuration, inside-committee consensus (Alg. 3), semi-commitment
+  exchange, intra-/inter-committee consensus, reputation + rewards, leader
+  re-selection (Alg. 6), selection, block generation;
+* :mod:`repro.nodes` — honest and Byzantine behaviour strategies plus the
+  mildly-adaptive adversary controller;
+* :mod:`repro.baselines` — Elastico/OmniLedger/RapidChain models for the
+  Table I comparison;
+* :mod:`repro.analysis` — the closed-form security/complexity/incentive
+  math (Eq. 1–4, Fig. 4–5, Tables I–II).
+
+Quickstart::
+
+    from repro import CycLedger, ProtocolParams
+    ledger = CycLedger(ProtocolParams(n=64, m=4, lam=3, referee_size=8))
+    reports = ledger.run(rounds=5)
+    print(len(ledger.chain), "blocks,", ledger.total_packed(), "transactions")
+"""
+
+from repro.core.config import ProtocolParams
+from repro.core.protocol import CycLedger, RoundReport
+from repro.nodes.adversary import AdversaryConfig, AdversaryController
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CycLedger",
+    "ProtocolParams",
+    "RoundReport",
+    "AdversaryConfig",
+    "AdversaryController",
+    "__version__",
+]

@@ -1,0 +1,98 @@
+"""Terminal plotting for the reproduction's figures.
+
+Matplotlib is deliberately not a dependency; the figures the paper plots
+(Fig. 4's g(x) curve, Fig. 5's failure-probability decay) render fine as
+ASCII, which also keeps benchmark output self-contained in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 18,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Render one or more series as an ASCII scatter/line chart.
+
+    Each series gets a marker; points are bucketed onto a width×height
+    character grid.  ``logy`` plots log10 of the values (zeros/negatives are
+    dropped), which is how Fig. 5 is drawn in the paper.
+    """
+    xs = np.asarray(xs, dtype=float)
+    if xs.ndim != 1 or xs.size < 2:
+        raise ValueError("need at least two x points")
+    markers = "*o+x#@%&"
+    cleaned: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    y_all = []
+    for index, (name, ys) in enumerate(series.items()):
+        ys_arr = np.asarray(ys, dtype=float)
+        if ys_arr.shape != xs.shape:
+            raise ValueError(f"series {name!r} length mismatch")
+        if logy:
+            mask = ys_arr > 0
+            cleaned[name] = (xs[mask], np.log10(ys_arr[mask]))
+        else:
+            cleaned[name] = (xs, ys_arr)
+        y_all.append(cleaned[name][1])
+    y_concat = np.concatenate([y for y in y_all if y.size])
+    if y_concat.size == 0:
+        raise ValueError("nothing to plot")
+    y_min, y_max = float(np.min(y_concat)), float(np.max(y_concat))
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(xs.min()), float(xs.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, (sx, sy)) in enumerate(cleaned.items()):
+        marker = markers[index % len(markers)]
+        for x, y in zip(sx, sy):
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_label_top = f"{y_max:.3g}" + (" (log10)" if logy else "")
+    y_label_bot = f"{y_min:.3g}"
+    lines.append(y_label_top)
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"{y_label_bot}  x: {x_min:g} .. {x_max:g}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart (used for reward-share comparisons)."""
+    values = np.asarray(values, dtype=float)
+    if len(labels) != values.size:
+        raise ValueError("labels/values length mismatch")
+    if values.size == 0:
+        raise ValueError("nothing to plot")
+    top = float(values.max())
+    if top <= 0:
+        top = 1.0
+    lines = [title] if title else []
+    label_width = max(len(str(label)) for label in labels)
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(max(value, 0.0) / top * width))
+        lines.append(f"{str(label).rjust(label_width)} | {bar} {value:.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Baseline sharding-protocol models for the Table I comparison.
+
+Elastico, OmniLedger and RapidChain are closed-source testbed systems; what
+Table I compares is their *analytical* profiles (resiliency, complexity,
+storage, per-round failure probability, decentralization assumptions,
+dishonest-leader behaviour, incentives, connection burden).  Each baseline
+is therefore an executable model exposing those quantities, plus a common
+cross-shard *leader-stall* simulator that reproduces the row CycLedger
+highlights: what happens to cross-shard throughput when a fraction of
+committee leaders is malicious.
+"""
+
+from repro.baselines.common import (
+    ProtocolModel,
+    LeaderStallResult,
+    simulate_leader_stalls,
+)
+from repro.baselines.elastico import ElasticoModel
+from repro.baselines.omniledger import OmniLedgerModel
+from repro.baselines.rapidchain import RapidChainModel
+from repro.baselines.cycledger_model import CycLedgerModel
+
+ALL_MODELS = [
+    ElasticoModel(),
+    OmniLedgerModel(),
+    RapidChainModel(),
+    CycLedgerModel(),
+]
+
+__all__ = [
+    "ProtocolModel",
+    "LeaderStallResult",
+    "simulate_leader_stalls",
+    "ElasticoModel",
+    "OmniLedgerModel",
+    "RapidChainModel",
+    "CycLedgerModel",
+    "ALL_MODELS",
+]

@@ -1,0 +1,48 @@
+"""CycLedger's own analytical profile — Table I column 4.
+
+Resiliency t < n/3; O(n) complexity; O(m²/n + c) storage; failure
+``m·(e^{-c/12} + (1/3)^λ)``; no always-honest party; recovers from
+dishonest leaders (partial sets + Algorithm 6); explicit incentives; light
+connection burden (committee cliques + key-member clique + key→C_R links,
+not an all-honest-pairs clique).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.security import partial_set_failure, round_failure_cycledger
+from repro.baselines.common import ProtocolModel
+from repro.net.topology import cycledger_channel_count
+
+
+class CycLedgerModel(ProtocolModel):
+    name = "CycLedger"
+    resiliency = 1.0 / 3.0
+    decentralization = "no always-honest party"
+    leader_robust = True
+    has_incentives = True
+    connection_burden = "light"
+
+    def complexity_messages(self, n: int, m: int, c: int) -> float:
+        return float(n)
+
+    def storage(self, n: int, m: int, c: int) -> float:
+        return float(m * m / max(n, 1) + c)
+
+    def fail_probability(self, m: int, c: int, lam: int) -> float:
+        return float(round_failure_cycledger(m, c, lam))
+
+    def connection_channels(
+        self, n: int, m: int, c: int, lam: int, cr: int
+    ) -> int:
+        return cycledger_channel_count(n, m, lam, cr)
+
+    def cross_shard_commit_probability(
+        self, leader_honest_i: bool, leader_honest_j: bool, lam: int
+    ) -> float:
+        """A dishonest leader is detected and replaced within the round as
+        long as its partial set has one honest member — the package commits
+        unless *both* recovery chances fail."""
+        p_recover = 1.0 - partial_set_failure(lam)
+        p_i = 1.0 if leader_honest_i else p_recover
+        p_j = 1.0 if leader_honest_j else p_recover
+        return p_i * p_j

@@ -1,0 +1,33 @@
+"""OmniLedger model [Kokoris-Kogias et al., S&P'18] — Table I column 2.
+
+Resiliency t < n/4; O(n) complexity; O(c + log m) storage (state blocks +
+epoch chain); failure O(m·e^{-c/40}); depends on "a never-absent trusty
+client to schedule the leaders' interaction when handling cross-shard
+transactions" (§II-A) — the Atomix client — so cross-shard progress under a
+faulty coordinating client/leader stalls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.security import round_failure_omniledger
+from repro.baselines.common import ProtocolModel
+
+
+class OmniLedgerModel(ProtocolModel):
+    name = "OmniLedger"
+    resiliency = 1.0 / 4.0
+    decentralization = "an honest client"
+    leader_robust = False
+    has_incentives = False
+    connection_burden = "heavy"
+
+    def complexity_messages(self, n: int, m: int, c: int) -> float:
+        return float(n)
+
+    def storage(self, n: int, m: int, c: int) -> float:
+        return float(c + np.log(max(m, 2)))
+
+    def fail_probability(self, m: int, c: int, lam: int) -> float:
+        return float(round_failure_omniledger(m, c))

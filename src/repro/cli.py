@@ -1,0 +1,140 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run        simulate CycLedger rounds and print per-round results
+failure    print the Fig. 5 failure-probability table/plot
+table1     print the Table I protocol comparison
+gx         print the Fig. 4 g(x) curve
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro import AdversaryConfig, CycLedger, ProtocolParams
+
+    params = ProtocolParams(
+        n=args.n, m=args.m, lam=args.lam, referee_size=args.referee,
+        seed=args.seed, users_per_shard=args.users,
+        tx_per_committee=args.txs, cross_shard_ratio=args.cross,
+        invalid_ratio=args.invalid,
+    )
+    adversary = AdversaryConfig(
+        fraction=args.adversary, leader_strategy=args.leader_strategy,
+        voter_strategy=args.voter_strategy,
+    )
+    ledger = CycLedger(params, adversary=adversary)
+    print(f"{'round':>5} {'packed':>6} {'cross':>5} {'recov':>5} "
+          f"{'msgs':>8} {'time':>7}")
+    for report in ledger.run(args.rounds):
+        print(f"{report.round_number:>5} {report.packed:>6} "
+              f"{report.cross_packed:>5} {report.recoveries:>5} "
+              f"{report.messages:>8} {report.sim_time:>7.1f}")
+    print(f"chain {len(ledger.chain)} blocks, valid={ledger.chain.verify()}, "
+          f"{ledger.total_packed()} transactions")
+    return 0
+
+
+def _cmd_failure(args: argparse.Namespace) -> int:
+    from repro.analysis.plotting import ascii_plot
+    from repro.analysis.security import (
+        committee_failure_exact,
+        committee_failure_kl_bound,
+        committee_failure_simple_bound,
+    )
+
+    cs = np.arange(args.cmin, args.cmax + 1, args.step)
+    exact = committee_failure_exact(args.n, args.t, cs)
+    kl = committee_failure_kl_bound(args.n, args.t, cs)
+    simple = committee_failure_simple_bound(cs)
+    print(ascii_plot(
+        cs,
+        {"exact": exact, "KL bound": kl, "e^{-c/12}": simple},
+        logy=True,
+        title=f"Fig. 5: committee failure probability, n={args.n}, t={args.t}",
+    ))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.baselines import ALL_MODELS, simulate_leader_stalls
+
+    rng = np.random.default_rng(0)
+    print(f"{'protocol':<12} {'resil':>6} {'storage':>9} {'fail/round':>11} "
+          f"{'x-shard@1/3':>12} {'incentives':>10}")
+    for model in ALL_MODELS:
+        stall = simulate_leader_stalls(model, 1 / 3, 200, 20, rng)
+        print(f"{model.name:<12} {model.resiliency:>6.2f} "
+              f"{model.storage(args.n, args.m, args.c):>9.1f} "
+              f"{model.fail_probability(args.m, args.c, args.lam):>11.2e} "
+              f"{stall.committed_fraction:>12.2f} "
+              f"{'yes' if model.has_incentives else 'no':>10}")
+    return 0
+
+
+def _cmd_gx(args: argparse.Namespace) -> int:
+    from repro.analysis.plotting import ascii_plot
+    from repro.core.reputation import g
+
+    xs = np.linspace(args.xmin, args.xmax, 81)
+    print(ascii_plot(xs, {"g(x)": g(xs)}, title="Fig. 4: g(x)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CycLedger reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate CycLedger rounds")
+    run.add_argument("--n", type=int, default=64)
+    run.add_argument("--m", type=int, default=4)
+    run.add_argument("--lam", type=int, default=3)
+    run.add_argument("--referee", type=int, default=8)
+    run.add_argument("--rounds", type=int, default=3)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--users", type=int, default=32)
+    run.add_argument("--txs", type=int, default=10)
+    run.add_argument("--cross", type=float, default=0.25)
+    run.add_argument("--invalid", type=float, default=0.1)
+    run.add_argument("--adversary", type=float, default=0.0)
+    run.add_argument("--leader-strategy", default="equivocating_leader")
+    run.add_argument("--voter-strategy", default="contrary_voter")
+    run.set_defaults(func=_cmd_run)
+
+    failure = sub.add_parser("failure", help="Fig. 5 failure probabilities")
+    failure.add_argument("--n", type=int, default=2000)
+    failure.add_argument("--t", type=int, default=666)
+    failure.add_argument("--cmin", type=int, default=20)
+    failure.add_argument("--cmax", type=int, default=300)
+    failure.add_argument("--step", type=int, default=10)
+    failure.set_defaults(func=_cmd_failure)
+
+    table1 = sub.add_parser("table1", help="Table I comparison")
+    table1.add_argument("--n", type=int, default=2000)
+    table1.add_argument("--m", type=int, default=10)
+    table1.add_argument("--c", type=int, default=200)
+    table1.add_argument("--lam", type=int, default=40)
+    table1.set_defaults(func=_cmd_table1)
+
+    gx = sub.add_parser("gx", help="Fig. 4 g(x) curve")
+    gx.add_argument("--xmin", type=float, default=-5.0)
+    gx.add_argument("--xmax", type=float, default=5.0)
+    gx.set_defaults(func=_cmd_gx)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Protocol parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.params import NetworkParams
+
+
+@dataclass(frozen=True)
+class ProtocolParams:
+    """All knobs of a CycLedger deployment.
+
+    Notation follows the paper: ``n`` nodes total, ``m`` committees of
+    expected size ``c`` (here exact: ``c = (n - referee_size) / m``), partial
+    sets of size ``lam`` (λ, "usually no less than 40" — defaults are
+    test-scale), referee committee of ``referee_size``.
+    """
+
+    n: int = 64
+    m: int = 4
+    lam: int = 3
+    referee_size: int = 8
+    seed: int = 0
+
+    # Workload
+    users_per_shard: int = 32
+    tx_per_committee: int = 12
+    cross_shard_ratio: float = 0.2
+    invalid_ratio: float = 0.05
+
+    # Timing rules from the paper, in units of the network's Δ:
+    semi_commit_delay_deltas: float = 8.0  # "recommended delay is 8Δ" (§IV-B)
+    vote_window_deltas: float = 6.0  # "within a certain time, e.g. 6Δ" (§IV-C)
+    inter_forward_gammas: float = 2.0  # the 2Γ rule of Lemma 7
+
+    # PoW admission (tiny by default so tests stay fast)
+    pow_difficulty_bits: int = 4
+
+    # Future-work extensions (§VIII), off by default
+    prefilter_cross_shard: bool = False
+    parallel_block_generation: bool = False
+
+    net: NetworkParams = field(default_factory=NetworkParams)
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.n <= 0:
+            raise ValueError("n and m must be positive")
+        if self.referee_size < 3:
+            raise ValueError("referee committee needs at least 3 members")
+        if (self.n - self.referee_size) % self.m != 0:
+            raise ValueError(
+                "n - referee_size must be divisible by m so committees have "
+                "a well-defined exact size"
+            )
+        if self.committee_size < self.lam + 2:
+            raise ValueError(
+                f"committee size {self.committee_size} cannot host a leader, "
+                f"{self.lam} partial members and at least one common member"
+            )
+
+    @property
+    def committee_size(self) -> int:
+        """c: exact committee size (paper: expectation O(log² n))."""
+        return (self.n - self.referee_size) // self.m
+
+    @property
+    def vote_window(self) -> float:
+        return self.vote_window_deltas * self.net.delta
+
+    @property
+    def semi_commit_delay(self) -> float:
+        return self.semi_commit_delay_deltas * self.net.delta
+
+    @property
+    def inter_forward_timeout(self) -> float:
+        return self.inter_forward_gammas * self.net.gamma

@@ -1,0 +1,360 @@
+"""Inside-committee consensus — Algorithm 3 (§IV-B, Fig. 3).
+
+Three synchronous steps:
+
+1. **PROPOSE** — the leader multicasts ``(r, sn, H(M), M)`` signed.
+2. **ECHO** — each member verifies the digest, broadcasts a signed
+   ``(r, sn, H(M), i)`` ECHO *and relays the leader-signed PROPOSE header*
+   to all members.
+3. **CONFIRM** — a member that holds the leader's PROPOSE plus identical
+   ECHOes from more than half the committee sends a signed CONFIRM (with
+   its EchoList) back to the leader; the leader returns the SigList once
+   more than half the members confirmed.
+
+Equivocation ("proposed different messages to different nodes") is caught in
+step 2: relayed PROPOSE headers carry the leader's signature, so any member
+holding two leader-signed headers with the same ``(r, sn)`` and different
+digests owns a transferable witness; it broadcasts STOP with the witness and
+the consensus aborts (a partial-set member then starts the recovery
+procedure, see :mod:`repro.core.recovery`).
+
+The resulting SigList is a *certificate*: anyone can verify that more than
+half of a known member set signed CONFIRM over the digest
+(:func:`verify_certificate`) — this is what leaders forward to C_R and to
+other committees, and what the semi-commitment scheme anchors to a member
+list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.crypto.hashing import H
+from repro.crypto.signatures import Signature, sign, signed_by, verify
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.structures import RoundContext
+    from repro.net.message import Message
+
+
+@dataclass(frozen=True)
+class EquivocationWitness:
+    """Two leader-signed PROPOSE headers, same (r, sn), different digests.
+
+    Exactly the witness shape of §V-D: a pair of messages signed by the
+    leader from which dishonesty can be derived.
+    """
+
+    leader_pk: str
+    round_number: int
+    sn: Any
+    digest_a: bytes
+    sig_a: Signature
+    digest_b: bytes
+    sig_b: Signature
+
+    def is_valid(self, pki) -> bool:
+        if self.digest_a == self.digest_b:
+            return False
+        header_a = ("PROPOSE", self.round_number, self.sn, self.digest_a)
+        header_b = ("PROPOSE", self.round_number, self.sn, self.digest_b)
+        return signed_by(pki, self.sig_a, header_a, self.leader_pk) and signed_by(
+            pki, self.sig_b, header_b, self.leader_pk
+        )
+
+
+@dataclass
+class ConsensusOutcome:
+    """What one Algorithm 3 run produced."""
+
+    success: bool = False
+    payload: Any = None
+    digest: bytes | None = None
+    cert: list[Signature] = field(default_factory=list)
+    equivocation: EquivocationWitness | None = None
+    confirms: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+
+def consensus_digest(payload: Any) -> bytes:
+    return H("ALG3", payload)
+
+
+def confirm_statement(round_number: int, sn: Any, digest: bytes) -> tuple:
+    return ("CONFIRM", round_number, sn, digest)
+
+
+def verify_certificate(
+    pki,
+    member_pks: Sequence[str],
+    round_number: int,
+    sn: Any,
+    digest: bytes,
+    cert: Sequence[Signature],
+    threshold: int | None = None,
+) -> bool:
+    """Check a SigList: > half of ``member_pks`` signed CONFIRM over digest.
+
+    Duplicate or foreign signatures are discarded, so a malicious leader
+    cannot pad a certificate (Lemma 6's "cannot fabricate a consensus
+    result").
+    """
+    members = set(member_pks)
+    statement = confirm_statement(round_number, sn, digest)
+    signers = {
+        s.pk
+        for s in cert
+        if s.pk in members and verify(pki, s, statement)
+    }
+    needed = threshold if threshold is not None else len(member_pks) // 2 + 1
+    return len(signers) >= needed
+
+
+class InsideConsensus:
+    """One Algorithm 3 session, event-driven over the network simulator.
+
+    Usage: construct, :meth:`start`, run the network (possibly alongside
+    other sessions), then read :attr:`outcome`.  ``session`` must be unique
+    per concurrent run — it namespaces the message tags so independent
+    committees (and the referee committee's parallel checks) never cross
+    wires.
+    """
+
+    def __init__(
+        self,
+        ctx: "RoundContext",
+        members: Sequence[int],
+        leader: int,
+        sn: Any,
+        payload: Any,
+        session: str,
+    ) -> None:
+        if leader not in set(members):
+            raise ValueError("leader must be one of the members")
+        self.ctx = ctx
+        self.members = list(members)
+        self.leader = leader
+        self.sn = sn
+        self.payload = payload
+        self.session = session
+        self.r = ctx.round_number
+        self.C = len(self.members)
+        self.outcome = ConsensusOutcome()
+        # Per-member state
+        self._proposed: dict[int, tuple[bytes, Signature]] = {}
+        self._seen_headers: dict[int, dict[bytes, Signature]] = {
+            mid: {} for mid in self.members
+        }
+        self._echoes: dict[int, dict[bytes, dict[str, Signature]]] = {
+            mid: {} for mid in self.members
+        }
+        self._confirmed: set[int] = set()
+        self._stopped: set[int] = set()
+        # Leader state
+        self._confirm_sigs: dict[str, Signature] = {}
+
+    # -- tags ------------------------------------------------------------
+    def _tag(self, base: str) -> str:
+        return f"{base}:{self.session}"
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        self.outcome.started_at = self.ctx.net.now
+        for mid in self.members:
+            node = self.ctx.node(mid)
+            node.on(self._tag("PROPOSE"), self._make_on_propose(mid))
+            node.on(self._tag("ECHO"), self._make_on_echo(mid))
+            node.on(self._tag("STOP"), self._make_on_stop(mid))
+        self.ctx.node(self.leader).on(self._tag("CONFIRM"), self._on_confirm)
+        self._leader_propose()
+
+    def _leader_propose(self) -> None:
+        leader_node = self.ctx.node(self.leader)
+        recipients = [mid for mid in self.members if mid != self.leader]
+        variants = leader_node.behavior.propose_payloads(
+            leader_node, recipients, self.payload
+        )
+        if variants is None:
+            variants = {rid: self.payload for rid in recipients}
+        for rid in recipients:
+            m = variants.get(rid, self.payload)
+            if m is ...:
+                continue  # silent toward this member
+            digest = consensus_digest(m)
+            header = ("PROPOSE", self.r, self.sn, digest)
+            sig = sign(leader_node.keypair, header)
+            leader_node.send(rid, self._tag("PROPOSE"), (sig, digest, m))
+        # The leader is also a member (Alg. 3 line 11: "any member i,
+        # including leader l"): it accepts its own proposal and broadcasts
+        # its ECHO like everyone else.
+        own_digest = consensus_digest(self.payload)
+        own_sig = sign(leader_node.keypair, ("PROPOSE", self.r, self.sn, own_digest))
+        self._proposed[self.leader] = (own_digest, own_sig)
+        self._seen_headers[self.leader][own_digest] = own_sig
+        echo_stmt = ("ECHO", self.r, self.sn, own_digest, self.leader)
+        echo_sig = sign(leader_node.keypair, echo_stmt)
+        for other in recipients:
+            leader_node.send(
+                other, self._tag("ECHO"), (echo_sig, own_digest, self.leader, own_sig)
+            )
+        self._record_echo(self.leader, own_digest, self.leader, echo_sig)
+
+    # -- member handlers ---------------------------------------------------
+    def _make_on_propose(self, mid: int):
+        def handler(message: "Message") -> None:
+            if mid in self._stopped:
+                return
+            node = self.ctx.node(mid)
+            sig, digest, payload = message.payload
+            header = ("PROPOSE", self.r, self.sn, digest)
+            leader_pk = self.ctx.pk_of(self.leader)
+            if not signed_by(self.ctx.pki, sig, header, leader_pk):
+                return  # forged or mis-signed: ignore
+            if consensus_digest(payload) != digest:
+                return  # digest does not match the message body
+            self._note_header(mid, digest, sig)
+            if mid in self._proposed:
+                return  # duplicate PROPOSE; equivocation was handled above
+            self._proposed[mid] = (digest, sig)
+            if not node.behavior.echoes(node):
+                return  # Byzantine member withholding participation
+            echo_stmt = ("ECHO", self.r, self.sn, digest, mid)
+            echo_sig = sign(node.keypair, echo_stmt)
+            # Broadcast ECHO + relay the leader-signed header (not the body:
+            # "the digest helps to mitigate the burden on the channel").
+            for other in self.members:
+                if other != mid:
+                    node.send(other, self._tag("ECHO"), (echo_sig, digest, mid, sig))
+            self._record_echo(mid, digest, mid, echo_sig)
+            self._maybe_confirm(mid)
+
+        return handler
+
+    def _make_on_echo(self, mid: int):
+        def handler(message: "Message") -> None:
+            if mid in self._stopped:
+                return
+            node = self.ctx.node(mid)
+            echo_sig, digest, sender_id, relayed_propose_sig = message.payload
+            echo_stmt = ("ECHO", self.r, self.sn, digest, sender_id)
+            if not verify(self.ctx.pki, echo_sig, echo_stmt):
+                return
+            if echo_sig.pk != self.ctx.pk_of(sender_id):
+                return
+            # The relayed PROPOSE header lets every member audit the leader.
+            header = ("PROPOSE", self.r, self.sn, digest)
+            leader_pk = self.ctx.pk_of(self.leader)
+            if signed_by(self.ctx.pki, relayed_propose_sig, header, leader_pk):
+                self._note_header(mid, digest, relayed_propose_sig)
+            if not node.behavior.echoes(node):
+                return
+            self._record_echo(mid, digest, sender_id, echo_sig)
+            self._maybe_confirm(mid)
+
+        return handler
+
+    def _note_header(self, mid: int, digest: bytes, sig: Signature) -> None:
+        """Track leader-signed headers; two different digests = witness."""
+        seen = self._seen_headers[mid]
+        if digest not in seen:
+            seen[digest] = sig
+        if len(seen) >= 2 and self.outcome.equivocation is None:
+            (d_a, s_a), (d_b, s_b) = list(seen.items())[:2]
+            witness = EquivocationWitness(
+                leader_pk=self.ctx.pk_of(self.leader),
+                round_number=self.r,
+                sn=self.sn,
+                digest_a=d_a,
+                sig_a=s_a,
+                digest_b=d_b,
+                sig_b=s_b,
+            )
+            self.outcome.equivocation = witness
+            node = self.ctx.node(mid)
+            if node.behavior.echoes(node):
+                # "he/she informs all members of the committee immediately
+                # to stop the consensus process."
+                for other in self.members:
+                    if other != mid:
+                        node.send(other, self._tag("STOP"), witness)
+                self._stopped.add(mid)
+
+    def _make_on_stop(self, mid: int):
+        def handler(message: "Message") -> None:
+            witness: EquivocationWitness = message.payload
+            if not isinstance(witness, EquivocationWitness):
+                return
+            if not witness.is_valid(self.ctx.pki):
+                return  # invalid alarm: ignore (Claim 4 — no framing)
+            if self.outcome.equivocation is None:
+                self.outcome.equivocation = witness
+            self._stopped.add(mid)
+
+        return handler
+
+    def _record_echo(
+        self, holder: int, digest: bytes, sender_id: int, echo_sig: Signature
+    ) -> None:
+        by_digest = self._echoes[holder].setdefault(digest, {})
+        by_digest[echo_sig.pk] = echo_sig
+
+    def _maybe_confirm(self, mid: int) -> None:
+        if mid in self._confirmed or mid in self._stopped:
+            return
+        proposed = self._proposed.get(mid)
+        if proposed is None:
+            return
+        digest, _ = proposed
+        echoes = self._echoes[mid].get(digest, {})
+        if len(echoes) <= self.C / 2:
+            return
+        node = self.ctx.node(mid)
+        self._confirmed.add(mid)
+        stmt = confirm_statement(self.r, self.sn, digest)
+        confirm_sig = sign(node.keypair, stmt)
+        echo_list = list(echoes.values())
+        if mid == self.leader:
+            self._accept_confirm(confirm_sig, digest)
+        else:
+            node.send(
+                self.leader, self._tag("CONFIRM"), (confirm_sig, digest, echo_list)
+            )
+
+    # -- leader handler ----------------------------------------------------
+    def _on_confirm(self, message: "Message") -> None:
+        confirm_sig, digest, _echo_list = message.payload
+        self._accept_confirm(confirm_sig, digest)
+
+    def _accept_confirm(self, confirm_sig: Signature, digest: bytes) -> None:
+        expected_digest = consensus_digest(self.payload)
+        if digest != expected_digest:
+            return
+        stmt = confirm_statement(self.r, self.sn, digest)
+        if not verify(self.ctx.pki, confirm_sig, stmt):
+            return
+        member_pks = {self.ctx.pk_of(mid) for mid in self.members}
+        if confirm_sig.pk not in member_pks:
+            return
+        self._confirm_sigs[confirm_sig.pk] = confirm_sig
+        self.outcome.confirms = len(self._confirm_sigs)
+        if len(self._confirm_sigs) > self.C / 2 and not self.outcome.success:
+            self.outcome.success = True
+            self.outcome.payload = self.payload
+            self.outcome.digest = expected_digest
+            self.outcome.cert = list(self._confirm_sigs.values())
+            self.outcome.finished_at = self.ctx.net.now
+
+    # -- convenience -------------------------------------------------------------
+    def run(self) -> ConsensusOutcome:
+        """Start and drive the network to quiescence (single-session use)."""
+        self.start()
+        self.ctx.net.run()
+        if self.outcome.finished_at == 0.0:
+            self.outcome.finished_at = self.ctx.net.now
+        return self.outcome

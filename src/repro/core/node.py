@@ -1,0 +1,86 @@
+"""CycLedger participant node."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.crypto.pki import KeyPair
+from repro.metrics.counters import Roles
+from repro.net.node import ProtocolNode
+from repro.nodes.behaviors import Behavior, HonestBehavior
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ledger.state import ShardState
+
+
+class CycNode(ProtocolNode):
+    """A protocol participant.
+
+    ``capacity`` models honest computing power: the number of transactions
+    the node can validate within a round's voting window (§VII-A — the
+    quantity reputation is designed to reflect).  ``behavior`` is the
+    strategy object consulted at every point a Byzantine node could deviate.
+
+    Role flags are reassigned every round by the selection/configuration
+    phases.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        keypair: KeyPair,
+        capacity: int = 10_000,
+        behavior: Behavior | None = None,
+    ) -> None:
+        super().__init__(node_id, keypair)
+        self.capacity = capacity
+        self.budget_left: int | None = None  # per-round validation budget
+        self.behavior = behavior if behavior is not None else HonestBehavior()
+        self.address = f"addr-{node_id:06d}"
+        # Per-round role (set by the orchestrator each round)
+        self.committee_id: int | None = None
+        self.is_leader = False
+        self.is_partial = False
+        self.is_referee = False
+        # Per-round protocol state
+        self.member_list: set[tuple[str, str]] = set()  # <PK, address> pairs
+        self.shard_state: "ShardState | None" = None
+
+    @property
+    def is_key_member(self) -> bool:
+        return self.is_leader or self.is_partial
+
+    @property
+    def role(self) -> str:
+        if self.is_referee:
+            return Roles.REFEREE
+        if self.is_key_member:
+            return Roles.KEY
+        return Roles.COMMON
+
+    def take_budget(self, want: int) -> int:
+        """Consume up to ``want`` units of this round's validation budget.
+
+        Capacity is a *per-round* resource (§VII-A: what a node can judge
+        "within a given time"), shared across all the round's vote lists —
+        intra, inter sending side and inter receiving side.
+        """
+        if self.budget_left is None:
+            self.budget_left = self.capacity
+        granted = max(0, min(want, self.budget_left))
+        self.budget_left -= granted
+        return granted
+
+    def reset_round_state(self) -> None:
+        self.budget_left = None
+        self.committee_id = None
+        self.is_leader = False
+        self.is_partial = False
+        self.is_referee = False
+        self.member_list = set()
+        self.shard_state = None
+        self.handlers.clear()
+
+    def identity(self) -> tuple[str, str]:
+        """The ``<PK, address>`` pair used in member lists."""
+        return (self.pk, self.address)

@@ -1,0 +1,325 @@
+"""The CycLedger protocol orchestrator.
+
+Drives full rounds over a fresh network simulator per round, with persistent
+chain, UTXO state, reputation, rewards, and workload across rounds.  Phase
+order per §III-E:
+
+    committee configuration → semi-commitment exchange → intra-committee
+    consensus → inter-committee consensus → reputation updating →
+    referee/leader/partial-set selection → block generation & propagation
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.blockgen import BlockReport, run_block_generation
+from repro.core.committee import ConfigReport, run_committee_configuration
+from repro.core.config import ProtocolParams
+from repro.core.inter import InterReport, run_inter_consensus
+from repro.core.intra import IntraReport, run_intra_consensus
+from repro.core.node import CycNode
+from repro.core.recovery import punish_leader
+from repro.core.reputation import ReputationReport, run_reputation_updating
+from repro.core.selection import SelectionReport, run_selection
+from repro.core.semicommit import SemiCommitReport, run_semi_commitment_exchange
+from repro.core.sortition import (
+    PARTIAL_ROLE,
+    REFEREE_ROLE,
+    crypto_sort,
+    partial_committee_of,
+    rank_select,
+    role_hash,
+)
+from repro.core.structures import CommitteeSpec, RoundContext
+from repro.crypto.hashing import H
+from repro.crypto.pki import PKI
+from repro.ledger.chain import Block, Chain
+from repro.ledger.state import ShardState
+from repro.ledger.workload import WorkloadGenerator
+from repro.metrics.counters import MetricsCollector, Roles
+from repro.net.simulator import Network
+from repro.net.topology import Channels, build_cycledger_topology
+from repro.nodes.adversary import AdversaryConfig, AdversaryController
+
+
+@dataclass
+class RoundReport:
+    """Everything one round produced (per-phase reports plus headline
+    numbers for benches)."""
+
+    round_number: int
+    block: Block | None
+    config: ConfigReport
+    semicommit: SemiCommitReport
+    intra: IntraReport
+    inter: InterReport
+    reputation: ReputationReport
+    selection: SelectionReport
+    blockgen: BlockReport
+    submitted: int = 0
+    packed: int = 0
+    cross_packed: int = 0
+    recoveries: int = 0
+    messages: int = 0
+    bytes_sent: int = 0
+    sim_time: float = 0.0
+    reliable_channels: int = 0
+
+
+class CycLedger:
+    """A running CycLedger deployment.
+
+    >>> ledger = CycLedger(ProtocolParams(n=64, m=4, lam=3, referee_size=8))
+    >>> reports = ledger.run(rounds=3)
+    >>> len(ledger.chain)
+    3
+    """
+
+    def __init__(
+        self,
+        params: ProtocolParams,
+        adversary: AdversaryConfig | None = None,
+        capacity_fn: Callable[[int, np.random.Generator], int] | None = None,
+    ) -> None:
+        self.params = params
+        self.rng = np.random.default_rng(params.seed)
+        self.pki = PKI()
+        self.metrics = MetricsCollector()  # cumulative across rounds
+        self.nodes: dict[int, CycNode] = {}
+        for node_id in range(params.n):
+            capacity = (
+                capacity_fn(node_id, self.rng) if capacity_fn is not None else 10_000
+            )
+            self.nodes[node_id] = CycNode(
+                node_id,
+                self.pki.generate(("cycledger", params.seed, node_id)),
+                capacity=capacity,
+            )
+        self.adversary = AdversaryController(
+            adversary if adversary is not None else AdversaryConfig(),
+            list(self.nodes),
+            self.rng,
+        )
+        self.workload = WorkloadGenerator(
+            m=params.m,
+            users_per_shard=params.users_per_shard,
+            rng=self.rng,
+        )
+        self.global_utxos = self.workload.genesis_utxos()
+        self.shard_states = [ShardState(k, params.m) for k in range(params.m)]
+        for state in self.shard_states:
+            state.add_genesis(self.workload.genesis_tx)
+        self.chain = Chain()
+        self.reputation: dict[str, float] = {
+            node.pk: 0.0 for node in self.nodes.values()
+        }
+        self.rewards: dict[str, float] = {}
+        self.round_number = 1
+        self.randomness = H("GENESIS_RANDOMNESS", params.seed)
+        # Round 1 key roles: uniform lotteries over all nodes (no reputation
+        # yet, so the leader rule degenerates to the hash rank too).
+        all_pks = [node.pk for node in self.nodes.values()]
+        self._next_referee = rank_select(
+            all_pks, 1, self.randomness, REFEREE_ROLE, params.referee_size
+        )
+        rest = [pk for pk in all_pks if pk not in set(self._next_referee)]
+        self._next_leaders = rank_select(rest, 1, self.randomness, "LEADER", params.m)
+        pool = [pk for pk in rest if pk not in set(self._next_leaders)]
+        self._next_partials = self._fill_partials(pool, 1, self.randomness)
+        self.reports: list[RoundReport] = []
+
+    # -- helpers ------------------------------------------------------------
+    def _fill_partials(
+        self, pool: list[str], round_number: int, randomness: bytes
+    ) -> list[list[str]]:
+        ranked = rank_select(pool, round_number, randomness, PARTIAL_ROLE, len(pool))
+        partials: list[list[str]] = [[] for _ in range(self.params.m)]
+        overflow: list[str] = []
+        for pk in ranked:
+            k = partial_committee_of(round_number, randomness, pk, self.params.m)
+            if len(partials[k]) < self.params.lam:
+                partials[k].append(pk)
+            else:
+                overflow.append(pk)
+        for k in range(self.params.m):
+            while len(partials[k]) < self.params.lam and overflow:
+                partials[k].append(overflow.pop(0))
+        return partials
+
+    def _node_id(self, pk: str) -> int:
+        for node in self.nodes.values():
+            if node.pk == pk:
+                return node.node_id
+        raise KeyError(pk)
+
+    # -- round assembly -----------------------------------------------------
+    def _assign_round(self) -> tuple[list[CommitteeSpec], list[int], Channels]:
+        """Committee configuration inputs: who plays which role this round."""
+        params = self.params
+        referee_ids = [self._node_id(pk) for pk in self._next_referee]
+        leader_ids = [self._node_id(pk) for pk in self._next_leaders]
+        partial_ids = [
+            [self._node_id(pk) for pk in pks] for pks in self._next_partials
+        ]
+        key_and_referee = set(referee_ids) | set(leader_ids)
+        for pks in partial_ids:
+            key_and_referee |= set(pks)
+
+        for node in self.nodes.values():
+            node.reset_round_state()
+            node.online = not self.adversary.is_offline(node.node_id)
+
+        # Common members find their committee via Algorithm 1.
+        committee_commons: list[list[int]] = [[] for _ in range(params.m)]
+        for node in self.nodes.values():
+            if node.node_id in key_and_referee:
+                continue
+            ticket = crypto_sort(
+                node.keypair, self.round_number, self.randomness, params.m
+            )
+            node.ticket = ticket
+            committee_commons[ticket.committee_id].append(node.node_id)
+
+        committees: list[CommitteeSpec] = []
+        for k in range(params.m):
+            members = [leader_ids[k], *partial_ids[k], *committee_commons[k]]
+            spec = CommitteeSpec(
+                index=k,
+                leader=leader_ids[k],
+                partial=tuple(partial_ids[k]),
+                members=members,
+            )
+            committees.append(spec)
+            leader_node = self.nodes[leader_ids[k]]
+            leader_node.is_leader = True
+            leader_node.behavior = self.adversary.leader_behavior(leader_ids[k])
+            for pid in partial_ids[k]:
+                partial_node = self.nodes[pid]
+                partial_node.is_partial = True
+                partial_node.behavior = self.adversary.voter_behavior(pid)
+            for mid in members:
+                node = self.nodes[mid]
+                node.committee_id = k
+                node.shard_state = self.shard_states[k]
+                if not node.is_leader and not node.is_partial:
+                    node.behavior = self.adversary.voter_behavior(mid)
+        for rid in referee_ids:
+            node = self.nodes[rid]
+            node.is_referee = True
+            node.behavior = self.adversary.voter_behavior(rid)
+
+        channels = build_cycledger_topology(
+            [(spec.members, spec.key_members) for spec in committees],
+            referee_ids,
+        )
+        return committees, referee_ids, channels
+
+    # -- the main loop -----------------------------------------------------
+    def run_round(self) -> RoundReport:
+        params = self.params
+        committees, referee_ids, channels = self._assign_round()
+        round_metrics = MetricsCollector()
+        for node in self.nodes.values():
+            round_metrics.set_role(node.node_id, node.role)
+        for cls, count in channels.counts.items():
+            round_metrics.record_channels(cls, count)
+        net = Network(params.net, self.rng, metrics=round_metrics)
+        for node in self.nodes.values():
+            net.add_node(node)
+        net.set_channel_classifier(channels.classify)
+
+        batch = self.workload.generate_batch(
+            count=2 * params.m * params.tx_per_committee,
+            cross_shard_ratio=params.cross_shard_ratio,
+            invalid_ratio=params.invalid_ratio,
+        )
+        mempools = self.workload.by_home_shard(batch)
+
+        ctx = RoundContext(
+            params=params,
+            pki=self.pki,
+            net=net,
+            metrics=round_metrics,
+            rng=self.rng,
+            round_number=self.round_number,
+            randomness=self.randomness,
+            nodes=self.nodes,
+            committees=committees,
+            referee=referee_ids,
+            reputation=self.reputation,
+            mempools=mempools,
+            shard_states=self.shard_states,
+            chain=self.chain,
+            global_utxos=self.global_utxos,
+            rewards=self.rewards,
+        )
+
+        config_report = run_committee_configuration(ctx)
+        semicommit_report = run_semi_commitment_exchange(ctx)
+        intra_report = run_intra_consensus(ctx)
+        inter_report = run_inter_consensus(ctx)
+        reputation_report = run_reputation_updating(ctx)
+        selection_report = run_selection(ctx)
+        block_report = run_block_generation(ctx, selection_report)
+
+        # Expelled leaders already had the cube-root punishment applied by
+        # the recovery module; nothing further here (§VII-B).
+        packed_ids = (
+            {tx.txid for tx in block_report.block.transactions}
+            if block_report.block
+            else set()
+        )
+        self.workload.confirm_round(packed_ids)
+
+        cross_ids = {
+            t.tx.txid for pool in mempools for t in pool if t.cross_shard
+        }
+        report = RoundReport(
+            round_number=self.round_number,
+            block=block_report.block,
+            config=config_report,
+            semicommit=semicommit_report,
+            intra=intra_report,
+            inter=inter_report,
+            reputation=reputation_report,
+            selection=selection_report,
+            blockgen=block_report,
+            submitted=len(batch),
+            packed=block_report.packed,
+            cross_packed=len(packed_ids & cross_ids),
+            recoveries=len(ctx.recoveries),
+            messages=round_metrics.total_messages(),
+            bytes_sent=round_metrics.total_bytes(),
+            sim_time=net.now,
+            reliable_channels=channels.total_reliable(),
+        )
+        self.metrics.merge(round_metrics)
+        self.reports.append(report)
+
+        # Stage the next round.
+        self._next_referee = selection_report.next_referee
+        self._next_leaders = selection_report.next_leaders
+        self._next_partials = selection_report.next_partials
+        self.randomness = selection_report.randomness
+        self.round_number += 1
+        self.adversary.advance_round()
+        return report
+
+    def run(self, rounds: int) -> list[RoundReport]:
+        return [self.run_round() for _ in range(rounds)]
+
+    # -- convenience accessors ------------------------------------------------
+    def total_packed(self) -> int:
+        return self.chain.total_transactions()
+
+    def reputation_by_behavior(self) -> dict[str, list[float]]:
+        grouped: dict[str, list[float]] = {}
+        for node in self.nodes.values():
+            grouped.setdefault(node.behavior.name, []).append(
+                self.reputation.get(node.pk, 0.0)
+            )
+        return grouped

@@ -1,0 +1,154 @@
+"""Referee committee, leaders and partial-set selection (§IV-F).
+
+At the end of round r:
+
+* C_R runs the SCRAPE beacon to produce the next round's randomness
+  ``R^{r+1}`` (implemented in full in :mod:`repro.crypto.beacon`);
+* prospective participants solve the PoW admission puzzle and submit
+  solutions to C_R, which records the participant set ``P^{r+1}``;
+* C_R picks the ``m`` *highest-reputation* participants as next-round
+  leaders ("we directly choose nodes with the highest reputation as leaders
+  … thus to enhance the performance and throughput", §VII-A);
+* the next referee committee and the partial sets are drawn *uniformly*
+  via the role-hash lottery (exact-size rank variant, see
+  :mod:`repro.core.sortition`), keeping committee randomness intact — the
+  design point RepChain trades away (§II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.sortition import (
+    PARTIAL_ROLE,
+    REFEREE_ROLE,
+    partial_committee_of,
+    rank_select,
+    role_hash,
+)
+from repro.core.structures import RoundContext
+from repro.core.tags import Tags
+from repro.crypto.beacon import BeaconReport, run_beacon
+from repro.crypto.pow import PowPuzzle, solve_pow, verify_pow
+
+
+@dataclass
+class SelectionReport:
+    randomness: bytes = b""
+    beacon: BeaconReport | None = None
+    participants: list[str] = field(default_factory=list)
+    next_referee: list[str] = field(default_factory=list)
+    next_leaders: list[str] = field(default_factory=list)
+    next_partials: list[list[str]] = field(default_factory=list)
+    rejected_pow: int = 0
+    elapsed: float = 0.0
+
+
+def run_selection(ctx: RoundContext) -> SelectionReport:
+    ctx.metrics.set_phase("selection")
+    started = ctx.net.now
+    report = SelectionReport()
+    params = ctx.params
+
+    # -- 1. SCRAPE beacon within C_R ---------------------------------------
+    corrupt_dealers = [
+        idx
+        for idx, rid in enumerate(ctx.referee)
+        if ctx.node(rid).behavior.is_malicious
+    ]
+    withhold = [
+        idx for idx, rid in enumerate(ctx.referee) if not ctx.node(rid).online
+    ]
+    beacon_rng = np.random.default_rng(
+        np.random.SeedSequence(
+            entropy=int.from_bytes(ctx.randomness[:8], "big"),
+            spawn_key=(ctx.round_number,),
+        )
+    )
+    randomness, beacon_report = run_beacon(
+        len(ctx.referee),
+        ctx.round_number + 1,
+        beacon_rng,
+        corrupt_dealers=corrupt_dealers,
+        withhold=withhold,
+    )
+    report.randomness = randomness
+    report.beacon = beacon_report
+
+    # -- 2. PoW admission ------------------------------------------------------
+    puzzle = PowPuzzle(
+        round_number=ctx.round_number + 1,
+        randomness=ctx.randomness,
+        difficulty_bits=params.pow_difficulty_bits,
+    )
+    solutions: dict[str, object] = {}
+
+    def on_solution(message) -> None:
+        solution = message.payload
+        if verify_pow(puzzle, solution):
+            solutions[solution.pk] = solution
+        else:
+            report.rejected_pow += 1
+
+    lead_referee = ctx.referee[0]
+    for rid in ctx.referee:
+        ctx.node(rid).on(Tags.POW_SOLUTION, on_solution)
+    for node in ctx.nodes.values():
+        if not node.online:
+            continue
+        solution = solve_pow(puzzle, node.pk)
+        node.send(lead_referee, Tags.POW_SOLUTION, solution)
+    ctx.net.run()
+    report.participants = sorted(solutions)
+
+    # -- 3. next-round key roles ------------------------------------------------
+    participants = list(report.participants)
+    if len(participants) < params.referee_size + params.m * (1 + params.lam):
+        raise RuntimeError(
+            "not enough PoW participants to staff the next round's key roles"
+        )
+    next_referee = rank_select(
+        participants,
+        ctx.round_number + 1,
+        randomness,
+        REFEREE_ROLE,
+        params.referee_size,
+    )
+    remaining = [pk for pk in participants if pk not in set(next_referee)]
+    # Leaders: the m highest-reputation remaining participants; ties broken
+    # by the role hash so the choice stays deterministic and unbiased.
+    remaining_sorted = sorted(
+        remaining,
+        key=lambda pk: (
+            -ctx.reputation.get(pk, 0.0),
+            role_hash(ctx.round_number + 1, randomness, pk, "LEADER"),
+        ),
+    )
+    next_leaders = remaining_sorted[: params.m]
+    pool = [pk for pk in remaining if pk not in set(next_leaders)]
+    # Partial sets: uniform rank lottery, then committee assignment by
+    # H(r+1 || R^r || PK || PARTIAL_SET_MEMBER) mod m, topped up in rank
+    # order so every committee gets exactly λ.
+    ranked = rank_select(
+        pool, ctx.round_number + 1, randomness, PARTIAL_ROLE, len(pool)
+    )
+    partials: list[list[str]] = [[] for _ in range(params.m)]
+    overflow: list[str] = []
+    for pk in ranked:
+        k = partial_committee_of(ctx.round_number + 1, randomness, pk, params.m)
+        if len(partials[k]) < params.lam:
+            partials[k].append(pk)
+        else:
+            overflow.append(pk)
+    for k in range(params.m):
+        while len(partials[k]) < params.lam and overflow:
+            partials[k].append(overflow.pop(0))
+    report.next_referee = next_referee
+    report.next_leaders = next_leaders
+    report.next_partials = partials
+    for rid in ctx.referee:
+        ctx.metrics.record_storage(rid, len(participants))
+    report.elapsed = ctx.net.now - started
+    return report

@@ -1,0 +1,123 @@
+"""Cryptographic sortition (Algorithm 1) and role lotteries (§IV-F).
+
+Algorithm 1 assigns an undetermined node to a committee::
+
+    <hash, pi> <- VRF_SK(COMMON_MEMBER || r || R_r)
+    id <- hash mod m
+
+Role selection for round r+1 uses hash thresholds::
+
+    H(r+1 || R_r || PK_i || role) <= d_r(role)
+
+The paper sizes committees *in expectation*; for reproducible simulation we
+also provide :func:`rank_select`, the exact-size variant: sort candidates by
+the same hash and take the required count.  This is the standard
+derandomization (identical distribution, fixed size) and is what the round
+orchestrator uses; the threshold form is kept and tested for fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.crypto.hashing import H_int
+from repro.crypto.pki import PKI, KeyPair
+from repro.crypto.vrf import VRFOutput, vrf_eval, vrf_verify
+
+COMMON_MEMBER = "COMMON_MEMBER"
+REFEREE_ROLE = "REFEREE_COMMITTEE_MEMBER"
+PARTIAL_ROLE = "PARTIAL_SET_MEMBER"
+
+_HASH_SPACE = 1 << 256
+
+
+@dataclass(frozen=True, slots=True)
+class SortitionTicket:
+    """The triple ``(id, hash, pi)`` returned by Algorithm 1."""
+
+    committee_id: int
+    vrf: VRFOutput
+
+
+def sortition_input(round_number: int, randomness: bytes) -> tuple:
+    """The VRF input Q = COMMON_MEMBER || r || R_r."""
+    return (COMMON_MEMBER, round_number, randomness)
+
+
+def crypto_sort(
+    keypair: KeyPair, round_number: int, randomness: bytes, m: int
+) -> SortitionTicket:
+    """Algorithm 1: which committee does this node belong to this round?"""
+    if m <= 0:
+        raise ValueError("m must be positive")
+    vrf = vrf_eval(keypair, sortition_input(round_number, randomness))
+    return SortitionTicket(committee_id=vrf.value % m, vrf=vrf)
+
+
+def verify_sortition(
+    pki: PKI,
+    ticket: SortitionTicket,
+    round_number: int,
+    randomness: bytes,
+    m: int,
+) -> bool:
+    """Key-member side check of a joining node's ticket (Alg. 2 line 7)."""
+    if not vrf_verify(pki, ticket.vrf, sortition_input(round_number, randomness)):
+        return False
+    return ticket.committee_id == ticket.vrf.value % m
+
+
+# -- role lotteries (§IV-F) --------------------------------------------------
+
+
+def role_hash(round_number: int, randomness: bytes, pk: str, role: str) -> int:
+    """H(r+1 || R_r || PK_i || role) as a 256-bit integer."""
+    return H_int("ROLE", round_number, randomness, pk, role)
+
+
+def passes_threshold(
+    round_number: int, randomness: bytes, pk: str, role: str, difficulty: float
+) -> bool:
+    """Threshold form: selected iff the role hash is below d_r(role).
+
+    ``difficulty`` is the selection *probability* (d_r(role) normalized by
+    the hash space), the natural parametrization when the network size
+    changes between rounds.
+    """
+    if not (0.0 <= difficulty <= 1.0):
+        raise ValueError("difficulty is a probability")
+    return role_hash(round_number, randomness, pk, role) < int(
+        difficulty * _HASH_SPACE
+    )
+
+
+def partial_committee_of(
+    round_number: int, randomness: bytes, pk: str, m: int
+) -> int:
+    """Which committee a selected partial member joins (§IV-F):
+    ``H(r+1 || R_r || PK_i || PARTIAL_SET_MEMBER) mod m``."""
+    return role_hash(round_number, randomness, pk, PARTIAL_ROLE) % m
+
+
+def rank_select(
+    candidates: Sequence[str],
+    round_number: int,
+    randomness: bytes,
+    role: str,
+    count: int,
+) -> list[str]:
+    """Exact-size variant of the threshold lottery.
+
+    Sorting by the role hash and taking the lowest ``count`` is distributed
+    identically to the threshold rule conditioned on the selected-set size —
+    the standard fixed-size derandomization.
+    """
+    if count > len(candidates):
+        raise ValueError(
+            f"cannot select {count} from {len(candidates)} candidates"
+        )
+    ranked = sorted(
+        candidates, key=lambda pk: role_hash(round_number, randomness, pk, role)
+    )
+    return ranked[:count]

@@ -1,0 +1,121 @@
+"""Round-level data structures shared by the phase executors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.crypto.pki import PKI
+from repro.ledger.chain import Chain
+from repro.ledger.state import ShardState
+from repro.ledger.utxo import UTXOSet
+from repro.ledger.workload import TaggedTx
+from repro.metrics.counters import MetricsCollector
+from repro.net.simulator import Network
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import ProtocolParams
+    from repro.core.node import CycNode
+
+
+@dataclass
+class CommitteeSpec:
+    """One committee C_k for one round: leader, partial set, all members."""
+
+    index: int
+    leader: int
+    partial: tuple[int, ...]
+    members: list[int]  # includes leader and partial members
+
+    def __post_init__(self) -> None:
+        member_set = set(self.members)
+        if self.leader not in member_set:
+            raise ValueError("leader must be a member")
+        if not set(self.partial) <= member_set:
+            raise ValueError("partial set must be members")
+        if self.leader in self.partial:
+            raise ValueError("leader cannot be in the partial set")
+
+    @property
+    def key_members(self) -> list[int]:
+        return [self.leader, *self.partial]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def replace_leader(self, new_leader: int) -> None:
+        """Leader re-selection: promote a partial member (Alg. 6 aftermath)."""
+        if new_leader not in self.partial:
+            raise ValueError("new leader must come from the partial set")
+        self.partial = tuple(p for p in self.partial if p != new_leader)
+        self.leader = new_leader
+
+
+@dataclass
+class RecoveryEvent:
+    """Record of one leader re-selection (for reports and punishment)."""
+
+    committee: int
+    old_leader: int
+    new_leader: int | None
+    kind: str  # witness kind that triggered it
+    accuser: int
+    succeeded: bool
+    sim_time: float
+
+
+@dataclass
+class RoundContext:
+    """Everything the seven phase executors need for one round."""
+
+    params: "ProtocolParams"
+    pki: PKI
+    net: Network
+    metrics: MetricsCollector
+    rng: np.random.Generator
+    round_number: int
+    randomness: bytes
+    nodes: dict[int, "CycNode"]
+    committees: list[CommitteeSpec]
+    referee: list[int]
+    reputation: dict[str, float]
+    mempools: list[list[TaggedTx]]
+    shard_states: list[ShardState]
+    chain: Chain
+    global_utxos: UTXOSet = field(default_factory=UTXOSet)
+    rewards: dict[str, float] = field(default_factory=dict)
+    recoveries: list[RecoveryEvent] = field(default_factory=list)
+    # Cross-phase artifacts
+    semi_commitments: dict[int, bytes] = field(default_factory=dict)
+    member_lists: dict[int, tuple] = field(default_factory=dict)
+    intra_results: dict[int, Any] = field(default_factory=dict)
+    inter_results: dict[int, Any] = field(default_factory=dict)
+    vote_records: dict[int, Any] = field(default_factory=dict)
+    score_lists: dict[int, Any] = field(default_factory=dict)
+    expelled_leaders: set[int] = field(default_factory=set)
+
+    # -- helpers ------------------------------------------------------------
+    def node(self, node_id: int) -> "CycNode":
+        return self.nodes[node_id]
+
+    def pk_of(self, node_id: int) -> str:
+        return self.nodes[node_id].pk
+
+    def node_by_pk(self, pk: str) -> "CycNode":
+        for node in self.nodes.values():
+            if node.pk == pk:
+                return node
+        raise KeyError(pk)
+
+    def committee(self, index: int) -> CommitteeSpec:
+        return self.committees[index]
+
+    def rep_of(self, node_id: int) -> float:
+        return self.reputation.get(self.pk_of(node_id), 0.0)
+
+    def referee_threshold(self) -> int:
+        """Votes needed for a referee-side majority: > |C_R| / 2."""
+        return len(self.referee) // 2 + 1

@@ -1,0 +1,45 @@
+"""Message tags, matching the paper's pseudocode labels."""
+
+
+class Tags:
+    # Committee configuration (Alg. 2)
+    CONFIG = "CONFIG"
+    MEM_LIST = "MEM_LIST"
+    MEMBER = "MEMBER"
+
+    # Inside-committee consensus (Alg. 3)
+    PROPOSE = "PROPOSE"
+    ECHO = "ECHO"
+    CONFIRM = "CONFIRM"
+    STOP = "STOP"  # equivocation alarm
+
+    # Semi-commitment exchange (Alg. 4)
+    SEMI_COM = "SEMI_COM"
+    SEMI_COM_SET = "SEMI_COM_SET"  # CR -> key members: validated set
+
+    # Intra-committee consensus (Alg. 5)
+    TX_LIST = "TX_LIST"
+    VOTE = "VOTE"
+    INTRA = "INTRA"
+
+    # Inter-committee consensus
+    INTER_SEND = "INTER_SEND"  # l_i -> l_j and partial_j
+    INTER_RESULT = "INTER_RESULT"  # l_j -> l_i
+    INTER_FWD = "INTER_FWD"  # partial_j -> l_j after the 2Γ timeout
+    PREFILTER_ASK = "PREFILTER_ASK"  # §VIII-A extension
+    PREFILTER_REPLY = "PREFILTER_REPLY"
+
+    # Reputation updating
+    SCORES = "SCORES"
+    SCORES_TO_CR = "SCORES_TO_CR"
+
+    # Recovery (Alg. 6)
+    IMPEACH = "IMPEACH"
+    IMPEACH_VOTE = "IMPEACH_VOTE"
+    ACCUSE = "ACCUSE"  # partial member -> CR with witness + cert
+    NEW = "NEW"  # CR -> committee: new leader
+
+    # Selection & block
+    POW_SOLUTION = "POW_SOLUTION"
+    BLOCK = "BLOCK"
+    UTXO_FINAL = "UTXO_FINAL"

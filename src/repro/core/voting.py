@@ -1,0 +1,321 @@
+"""Shared vote-round machinery for Algorithm 5 and the inter-committee phase.
+
+One *vote round* is the pattern both phases use:
+
+1. the leader broadcasts a signed TXList;
+2. every member votes each transaction Yes / No / Unknown and returns a
+   signed VList (honest nodes run V up to their capacity);
+3. the leader collects votes within the 6Δ window — "those nodes who fail
+   to reply in the period are deemed as voting Unknown on all transactions";
+4. the leader derives TXdecSET (majority Yes) and runs Algorithm 3 on
+   ``(TXdecSET, VList)``;
+5. the leader signs the two auditable artifacts — the decided set and the
+   vote matrix — that the censorship witness of :mod:`repro.core.recovery`
+   is built from.
+
+Silent-leader detection also lives here: members that receive no TXList by
+the deadline countersign a NO_PROPOSAL statement to the partial set, which
+assembles the quorum evidence for a silence impeachment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.core.consensus import InsideConsensus
+from repro.core.recovery import no_proposal_statement
+from repro.core.structures import CommitteeSpec, RoundContext
+from repro.crypto.signatures import Signature, sign, signed_by, verify
+from repro.ledger.transaction import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.message import Message
+
+VoteFn = Callable[["RoundContext", int, Sequence[Transaction]], np.ndarray]
+
+
+def input_side_votes(
+    ctx: RoundContext, member_id: int, txs: Sequence[Transaction]
+) -> np.ndarray:
+    """Member vote on transactions whose inputs live in its own shard."""
+    node = ctx.node(member_id)
+    return node.behavior.vote(node, txs, node.shard_state, ctx.rng)
+
+
+def output_side_votes(
+    ctx: RoundContext, member_id: int, txs: Sequence[Transaction]
+) -> np.ndarray:
+    """Receiving-committee vote on cross-shard transactions (output side)."""
+    node = ctx.node(member_id)
+    return node.behavior.vote_on_outputs(node, txs, ctx.rng)
+
+
+@dataclass
+class VoteRound:
+    """Everything one vote round produced."""
+
+    committee: int
+    session: str
+    txs: list[Transaction] = field(default_factory=list)
+    txids: tuple[bytes, ...] = ()
+    matrix: np.ndarray | None = None  # rows follow committee.members order
+    decision: np.ndarray | None = None
+    majority_txs: list[Transaction] = field(default_factory=list)
+    reported_txs: list[Transaction] = field(default_factory=list)
+    consensus_success: bool = False
+    cert: list[Signature] = field(default_factory=list)
+    sig_dec: Signature | None = None
+    sig_votes: Signature | None = None
+    reported_txids: tuple[bytes, ...] = ()
+    timed_out: bool = False
+    no_proposal_sigs: dict[int, list[Signature]] = field(default_factory=dict)
+    replies: int = 0
+    equivocation: object | None = None  # EquivocationWitness from Alg. 3
+
+    @property
+    def vlist_tuple(self) -> tuple:
+        assert self.matrix is not None
+        return tuple(tuple(int(v) for v in row) for row in self.matrix)
+
+
+class VoteRoundSession:
+    """Event-driven execution of one vote round."""
+
+    def __init__(
+        self,
+        ctx: RoundContext,
+        committee: CommitteeSpec,
+        txs: Sequence[Transaction],
+        session: str,
+        vote_fn: VoteFn,
+        phase_name: str,
+        leader_proposes_override: bool | None = None,
+    ) -> None:
+        self.leader_proposes_override = leader_proposes_override
+        self.ctx = ctx
+        self.committee = committee
+        self.txs = list(txs)
+        self.txids = tuple(tx.txid for tx in self.txs)
+        self.session = session
+        self.vote_fn = vote_fn
+        self.phase_name = phase_name
+        self.result = VoteRound(
+            committee=committee.index,
+            session=session,
+            txs=list(self.txs),
+            txids=self.txids,
+        )
+        self._votes: dict[int, np.ndarray] = {}
+        self._tallied = False
+        self._proposal_seen: set[int] = set()
+        self._alg3: InsideConsensus | None = None
+
+    def _tag(self, base: str) -> str:
+        return f"{base}:{self.session}"
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        ctx = self.ctx
+        committee = self.committee
+        leader_node = ctx.node(committee.leader)
+        for mid in committee.members:
+            node = ctx.node(mid)
+            node.on(self._tag("TX_LIST"), self._make_on_txlist(mid))
+            if mid in committee.partial:
+                node.on(self._tag("NO_PROPOSAL"), self._make_on_no_proposal(mid))
+        leader_node.on(self._tag("VOTE"), self._on_vote)
+        deadline = ctx.params.vote_window
+        proposes = (
+            self.leader_proposes_override
+            if self.leader_proposes_override is not None
+            else leader_node.behavior.proposes_txlist(leader_node)
+        )
+        if proposes and leader_node.online:
+            statement = ("TX_LIST", ctx.round_number, committee.index, self.txids)
+            sig = sign(leader_node.keypair, statement)
+            for mid in committee.members:
+                if mid != committee.leader:
+                    leader_node.send(
+                        mid, self._tag("TX_LIST"), (self.txs, sig)
+                    )
+            # The leader votes too (it is a member, Alg. 5 line 21).
+            self._votes[committee.leader] = self.vote_fn(
+                ctx, committee.leader, self.txs
+            )
+            self.result.replies += 1
+            ctx.net.call_after(deadline, self._tally)
+        else:
+            # Members will notice the silence at the deadline.
+            ctx.net.call_after(deadline, self._silence_deadline)
+
+    # -- member side --------------------------------------------------------
+    def _make_on_txlist(self, mid: int):
+        def handler(message: "Message") -> None:
+            txs, sig = message.payload
+            leader_pk = self.ctx.pk_of(self.committee.leader)
+            txids = tuple(tx.txid for tx in txs)
+            statement = ("TX_LIST", self.ctx.round_number, self.committee.index, txids)
+            if not signed_by(self.ctx.pki, sig, statement, leader_pk):
+                return
+            if mid in self._proposal_seen:
+                return
+            self._proposal_seen.add(mid)
+            node = self.ctx.node(mid)
+            votes = self.vote_fn(self.ctx, mid, txs)
+            vote_statement = (
+                "VOTE",
+                self.ctx.round_number,
+                self.committee.index,
+                self.session,
+                tuple(int(v) for v in votes),
+            )
+            vote_sig = sign(node.keypair, vote_statement)
+            node.send(
+                self.committee.leader,
+                self._tag("VOTE"),
+                (mid, tuple(int(v) for v in votes), vote_sig),
+            )
+
+        return handler
+
+    # -- leader side --------------------------------------------------------
+    def _on_vote(self, message: "Message") -> None:
+        if self._tallied:
+            return  # replies after the 6Δ window count as Unknown
+        mid, votes, vote_sig = message.payload
+        if mid not in set(self.committee.members):
+            return
+        vote_statement = (
+            "VOTE",
+            self.ctx.round_number,
+            self.committee.index,
+            self.session,
+            tuple(votes),
+        )
+        if not verify(self.ctx.pki, vote_sig, vote_statement):
+            return
+        if vote_sig.pk != self.ctx.pk_of(mid):
+            return
+        if len(votes) != len(self.txs):
+            return
+        self._votes[mid] = np.asarray(votes, dtype=np.int8)
+        self.result.replies += 1
+
+    def _tally(self) -> None:
+        if self._tallied:
+            return
+        self._tallied = True
+        ctx = self.ctx
+        committee = self.committee
+        C = committee.size
+        D = len(self.txs)
+        matrix = np.zeros((C, D), dtype=np.int8)
+        for row, mid in enumerate(committee.members):
+            votes = self._votes.get(mid)
+            if votes is not None:
+                matrix[row, : len(votes)] = votes
+        yes_counts = (matrix == 1).sum(axis=0)
+        decision = np.where(yes_counts > C / 2, 1, -1).astype(np.int8)
+        majority = [tx for tx, d in zip(self.txs, decision) if d == 1]
+        leader_node = ctx.node(committee.leader)
+        reported = leader_node.behavior.assemble_txdec(leader_node, majority, matrix)
+        self.result.matrix = matrix
+        self.result.decision = decision
+        self.result.majority_txs = majority
+        self.result.reported_txs = list(reported)
+        self.result.reported_txids = tuple(tx.txid for tx in reported)
+        ctx.metrics.record_storage(committee.leader, int(matrix.size) + D)
+        # Algorithm 3 on (TXdecSET, VList).
+        self._alg3 = InsideConsensus(
+            ctx,
+            committee.members,
+            leader=committee.leader,
+            sn=("VOTEROUND", self.session),
+            payload=(self.result.reported_txids, self.result.vlist_tuple),
+            session=f"{self.session}:alg3",
+        )
+        self._alg3.start()
+        # Sign the auditable artifacts (used by censorship witnesses).
+        r, k = ctx.round_number, committee.index
+        self.result.sig_dec = sign(
+            leader_node.keypair, ("INTRA_DEC", r, k, self.result.reported_txids)
+        )
+        self.result.sig_votes = sign(
+            leader_node.keypair,
+            ("VLIST", r, k, self.txids, self.result.vlist_tuple),
+        )
+        # Broadcast the artifacts so partial members can audit.
+        artifact = (
+            self.result.reported_txids,
+            self.result.sig_dec,
+            self.txids,
+            self.result.vlist_tuple,
+            self.result.sig_votes,
+        )
+        for pid in committee.partial:
+            leader_node.send(pid, self._tag("ARTIFACT"), artifact)
+
+    # -- silence handling ---------------------------------------------------
+    def _silence_deadline(self) -> None:
+        """Leader sent nothing: members countersign NO_PROPOSAL statements."""
+        self.result.timed_out = True
+        ctx = self.ctx
+        committee = self.committee
+        stmt = no_proposal_statement(
+            ctx.round_number, committee.index, self.phase_name
+        )
+        for mid in committee.members:
+            node = ctx.node(mid)
+            if mid in self._proposal_seen or not node.online:
+                continue
+            if node.behavior.is_malicious:
+                continue  # colluders will not help impeach their leader
+            statement_sig = sign(node.keypair, stmt)
+            for pid in committee.partial:
+                if pid != mid:
+                    node.send(pid, self._tag("NO_PROPOSAL"), statement_sig)
+                else:
+                    self.result.no_proposal_sigs.setdefault(mid, []).append(
+                        statement_sig
+                    )
+
+    def _make_on_no_proposal(self, pid: int):
+        def handler(message: "Message") -> None:
+            sig = message.payload
+            stmt = no_proposal_statement(
+                self.ctx.round_number, self.committee.index, self.phase_name
+            )
+            if not verify(self.ctx.pki, sig, stmt):
+                return
+            self.result.no_proposal_sigs.setdefault(pid, []).append(sig)
+
+        return handler
+
+    # -- completion ----------------------------------------------------------
+    def finish(self) -> VoteRound:
+        """Collect the Algorithm 3 outcome after the network quiesced."""
+        if self._alg3 is not None:
+            self.result.consensus_success = self._alg3.outcome.success
+            self.result.cert = self._alg3.outcome.cert
+            if self._alg3.outcome.equivocation is not None:
+                self.result.consensus_success = False
+                self.result.equivocation = self._alg3.outcome.equivocation
+        return self.result
+
+
+def run_vote_rounds(
+    ctx: RoundContext,
+    work: Sequence[tuple[CommitteeSpec, Sequence[Transaction], str, VoteFn, str]],
+) -> list[VoteRound]:
+    """Run several vote rounds concurrently on the shared network."""
+    sessions = [
+        VoteRoundSession(ctx, committee, txs, session, vote_fn, phase)
+        for committee, txs, session, vote_fn, phase in work
+    ]
+    for session in sessions:
+        session.start()
+    ctx.net.run()
+    return [session.finish() for session in sessions]

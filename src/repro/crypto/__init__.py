@@ -1,0 +1,55 @@
+"""Simulated cryptographic substrate for the CycLedger reproduction.
+
+The paper assumes a PKI, EUF-CMA digital signatures, a collision-resistant
+hash function (CRHF), a Verifiable Random Function (VRF), the SCRAPE
+publicly-verifiable secret sharing (PVSS) beacon and a proof-of-work
+admission puzzle.  Every one of those is implemented here.
+
+Two of them (signatures and the VRF) are *simulation-grade*: they are keyed
+MACs whose verification goes through the :class:`~repro.crypto.pki.PKI`
+registry instead of real asymmetric primitives.  Within the simulation the
+adversary has no API that exposes another party's secret key, so
+unforgeability — the only property the paper's proofs rely on — holds
+unconditionally.  The PVSS beacon, by contrast, is a *real* implementation of
+Shamir sharing with Feldman commitments and SCRAPE's dual-code share check
+over an explicit prime-order group.
+"""
+
+from repro.crypto.hashing import H, H_int, canonical_bytes
+from repro.crypto.pki import PKI, KeyPair
+from repro.crypto.signatures import Signature, sign, verify
+from repro.crypto.vrf import VRFOutput, vrf_eval, vrf_verify
+from repro.crypto.commitment import semi_commitment, verify_semi_commitment
+from repro.crypto.field import PrimeField, FIELD, GROUP, SchnorrGroup
+from repro.crypto.pvss import PVSSDealing, deal, verify_dealing, reconstruct
+from repro.crypto.beacon import ScrapeBeacon, run_beacon
+from repro.crypto.pow import PowPuzzle, solve_pow, verify_pow
+
+__all__ = [
+    "H",
+    "H_int",
+    "canonical_bytes",
+    "PKI",
+    "KeyPair",
+    "Signature",
+    "sign",
+    "verify",
+    "VRFOutput",
+    "vrf_eval",
+    "vrf_verify",
+    "semi_commitment",
+    "verify_semi_commitment",
+    "PrimeField",
+    "FIELD",
+    "GROUP",
+    "SchnorrGroup",
+    "PVSSDealing",
+    "deal",
+    "verify_dealing",
+    "reconstruct",
+    "ScrapeBeacon",
+    "run_beacon",
+    "PowPuzzle",
+    "solve_pow",
+    "verify_pow",
+]

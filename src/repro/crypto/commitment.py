@@ -1,0 +1,56 @@
+"""Semi-commitment scheme (§IV-B, §V-D).
+
+"We only require the computational-binding property of a commitment scheme
+here.  That is where the name 'semi-commitment' comes from."
+
+The committee's semi-commitment is the CRHF digest of its member list:
+``SEMI_COM_k = H(S)``.  Binding follows from collision resistance (Lemma 1);
+hiding is explicitly *not* required (§V-D), so a plain hash is exactly the
+paper's construction, not a simplification of it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.crypto.hashing import H
+
+
+def canonical_member_list(members: Iterable[tuple[str, str]]) -> tuple[tuple[str, str], ...]:
+    """Sort a ``<PK, address>`` list into the canonical order used for hashing.
+
+    Honest parties may learn members in different orders during committee
+    configuration; committing to the sorted list makes the commitment a
+    function of the *set*, which is what Algorithm 4 compares.
+    """
+    return tuple(sorted(members))
+
+
+def semi_commitment(members: Iterable[tuple[str, str]]) -> bytes:
+    """``SEMI_COM = H(S)`` over the canonical member list."""
+    return H("SEMI_COM", canonical_member_list(members))
+
+
+def verify_semi_commitment(
+    commitment: bytes, members: Iterable[tuple[str, str]]
+) -> bool:
+    """Check a claimed commitment against a claimed member list.
+
+    This is the test a partial-set member (or referee) runs in step 3 of the
+    semi-commitment exchange; a mismatch is a valid witness against the
+    leader.
+    """
+    return commitment == semi_commitment(members)
+
+
+def superset_consistent(
+    claimed: Sequence[tuple[str, str]], local: Iterable[tuple[str, str]]
+) -> bool:
+    """Paper: "The list S should be no smaller than the set he/she locally
+    maintains."
+
+    A partial-set member accepts the leader's list only if it contains every
+    member the partial-set member saw register locally.
+    """
+    claimed_set = set(claimed)
+    return all(entry in claimed_set for entry in local)

@@ -1,0 +1,92 @@
+"""Collision-resistant hash function wrapper.
+
+The paper assumes access to an external random oracle ``H`` which is
+collision resistant.  We use SHA-256 with a canonical, injective encoding of
+structured inputs so that ``H(a, b) != H(ab)``-style ambiguities cannot
+produce accidental collisions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+_SEP = b"\x1f"
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """Injectively encode ``obj`` (nested tuples/lists/ints/str/bytes/None/bool)
+    into bytes.
+
+    The encoding is prefix-free per element: each element is rendered as
+    ``<typetag><length>:<payload>`` so distinct structures never collide.
+    """
+    if isinstance(obj, bytes):
+        payload = obj
+        tag = b"b"
+    elif isinstance(obj, str):
+        payload = obj.encode("utf-8")
+        tag = b"s"
+    elif isinstance(obj, bool):  # must precede int check
+        payload = b"1" if obj else b"0"
+        tag = b"o"
+    elif isinstance(obj, int):
+        payload = str(obj).encode("ascii")
+        tag = b"i"
+    elif obj is None:
+        payload = b""
+        tag = b"n"
+    elif isinstance(obj, float):
+        payload = repr(obj).encode("ascii")
+        tag = b"f"
+    elif isinstance(obj, (tuple, list)):
+        inner = _SEP.join(canonical_bytes(x) for x in obj)
+        payload = inner
+        tag = b"t"
+    elif isinstance(obj, (set, frozenset)):
+        inner = _SEP.join(sorted(canonical_bytes(x) for x in obj))
+        payload = inner
+        tag = b"e"
+    elif isinstance(obj, dict):
+        items = sorted(
+            (canonical_bytes(k), canonical_bytes(v)) for k, v in obj.items()
+        )
+        payload = _SEP.join(k + b"=" + v for k, v in items)
+        tag = b"d"
+    else:
+        # NumPy scalars appear wherever protocol code hashes vote vectors;
+        # encode them exactly as their Python equivalents.
+        import numpy as np
+
+        if isinstance(obj, np.integer):
+            return canonical_bytes(int(obj))
+        if isinstance(obj, np.floating):
+            return canonical_bytes(float(obj))
+        if isinstance(obj, np.bool_):
+            return canonical_bytes(bool(obj))
+        raise TypeError(f"canonical_bytes cannot encode {type(obj).__name__}")
+    return tag + str(len(payload)).encode("ascii") + b":" + payload
+
+
+def H(*parts: Any) -> bytes:
+    """The protocol's collision-resistant hash function.
+
+    Accepts any number of canonically-encodable parts and returns a 32-byte
+    digest.  ``H(a, b)`` is the paper's ``H(a || b)`` with an injective
+    pairing.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(canonical_bytes(part))
+    return h.digest()
+
+
+def H_int(*parts: Any) -> int:
+    """``H`` interpreted as a 256-bit unsigned integer (for mod-m sortition
+    and difficulty comparisons)."""
+    return int.from_bytes(H(*parts), "big")
+
+
+def hexdigest(*parts: Any) -> str:
+    """Hex rendering of :func:`H`, convenient for logs and block ids."""
+    return H(*parts).hex()

@@ -1,0 +1,67 @@
+"""Simulated EUF-CMA digital signatures.
+
+"It is by default that all messages are sent authentically via the digital
+signature scheme throughout the protocol."  (§IV-A)
+
+A signature is a keyed MAC over the canonical encoding of the message,
+verified through the :class:`~repro.crypto.pki.PKI`.  Within the simulation
+this is existentially unforgeable: producing a valid ``Signature`` for a
+public key requires either that key's secret (held only by its owner) or the
+registry (held only by verification code).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.hashing import canonical_bytes
+from repro.crypto.pki import PKI, KeyPair
+
+
+@dataclass(frozen=True, slots=True)
+class Signature:
+    """A signature: the signer's public key plus the MAC tag.
+
+    Carrying ``pk`` inside the object mirrors the paper's ``SIG_i < ... >``
+    notation where the signer identity is always recoverable.
+    """
+
+    pk: str
+    tag: bytes
+
+    def __repr__(self) -> str:
+        return f"Signature(pk={self.pk!r}, tag={self.tag[:6].hex()}…)"
+
+
+def _encode(message: Any) -> bytes:
+    return b"sig" + canonical_bytes(message)
+
+
+def sign(keypair: KeyPair, message: Any) -> Signature:
+    """Sign ``message`` (any canonically-encodable structure)."""
+    tag = hmac.new(keypair.sk, _encode(message), hashlib.sha256).digest()
+    return Signature(pk=keypair.pk, tag=tag)
+
+
+def verify(pki: PKI, signature: Signature, message: Any) -> bool:
+    """Check ``signature`` over ``message`` against its embedded public key.
+
+    Returns ``False`` (never raises) for unregistered keys or wrong tags so
+    protocol code can treat bad signatures uniformly as Byzantine noise.
+    """
+    if not pki.is_registered(signature.pk):
+        return False
+    expected = pki.mac(signature.pk, _encode(message))
+    return hmac.compare_digest(expected, signature.tag)
+
+
+def signed_by(pki: PKI, signature: Signature, message: Any, pk: str) -> bool:
+    """Verify and additionally pin the signer identity to ``pk``.
+
+    Used where the protocol requires a message "signed by the leader": a
+    valid signature from the *wrong* party must not count.
+    """
+    return signature.pk == pk and verify(pki, signature, message)

@@ -1,0 +1,95 @@
+"""Blocks and the chain the referee committee maintains.
+
+§IV-G: the referee committee "packs [the valid TXdecSETs] up, together with
+all participants of next round S^{r+1}, their reputations W^{r+1}, the
+elected referee committee C_R^{r+1}, leaders and partial sets as a block
+B^r".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Sequence
+
+from repro.crypto.hashing import H
+from repro.ledger.transaction import Transaction
+
+GENESIS_PREV_HASH = b"\x00" * 32
+
+
+@dataclass(frozen=True)
+class Block:
+    """One round's block ``B^r``."""
+
+    round_number: int
+    prev_hash: bytes
+    transactions: tuple[Transaction, ...]
+    randomness: bytes  # R^{r+1}
+    participants: tuple[str, ...]  # S^{r+1}: pks admitted via PoW
+    reputations: tuple[tuple[str, float], ...]  # W^{r+1}
+    referee: tuple[str, ...]  # C_R^{r+1}
+    leaders: tuple[str, ...]  # l^{r+1}_1..m
+    partial_sets: tuple[tuple[str, ...], ...]  # C^{r+1}_{k,partial}
+
+    @cached_property
+    def hash(self) -> bytes:
+        return H(
+            "BLOCK",
+            self.round_number,
+            self.prev_hash,
+            tuple(tx.txid for tx in self.transactions),
+            self.randomness,
+            self.participants,
+            self.reputations,
+            self.referee,
+            self.leaders,
+            self.partial_sets,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Block(r={self.round_number}, {len(self.transactions)} txs, "
+            f"hash={self.hash.hex()[:10]}…)"
+        )
+
+
+class Chain:
+    """Append-only chain with link validation."""
+
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+
+    def append(self, block: Block) -> None:
+        expected_prev = self.head.hash if self.blocks else GENESIS_PREV_HASH
+        if block.prev_hash != expected_prev:
+            raise ValueError(
+                f"block r={block.round_number} does not extend the chain head"
+            )
+        if self.blocks and block.round_number <= self.head.round_number:
+            raise ValueError("round numbers must increase")
+        self.blocks.append(block)
+
+    @property
+    def head(self) -> Block:
+        if not self.blocks:
+            raise IndexError("empty chain")
+        return self.blocks[-1]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+    def total_transactions(self) -> int:
+        return sum(len(b.transactions) for b in self.blocks)
+
+    def verify(self) -> bool:
+        """Recheck every hash link (integration-test helper)."""
+        prev = GENESIS_PREV_HASH
+        for block in self.blocks:
+            if block.prev_hash != prev:
+                return False
+            prev = block.hash
+        return True

@@ -1,0 +1,113 @@
+"""Transactions in the UTXO model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.crypto.hashing import H, H_int
+
+
+def shard_of_address(address: str, m: int) -> int:
+    """Deterministic address → shard assignment (users "almost equally
+    divided into m shards", §III-D)."""
+    if m <= 0:
+        raise ValueError("m must be positive")
+    return H_int("SHARD", address) % m
+
+
+@dataclass(frozen=True, slots=True)
+class TxInput:
+    """Reference to an unspent output: ``(txid, index)``."""
+
+    txid: bytes
+    index: int
+
+
+@dataclass(frozen=True, slots=True)
+class TxOutput:
+    """A spendable coin: owner address and amount."""
+
+    address: str
+    amount: int
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An immutable transaction.
+
+    ``nonce`` disambiguates otherwise-identical transfers (same payer, payee
+    and amount) so txids are unique.  The fee is implicit:
+    ``sum(inputs) - sum(outputs)``, computable only against a UTXO set.
+    """
+
+    inputs: tuple[TxInput, ...]
+    outputs: tuple[TxOutput, ...]
+    nonce: int = 0
+
+    @cached_property
+    def txid(self) -> bytes:
+        return H(
+            "TX",
+            tuple((i.txid, i.index) for i in self.inputs),
+            tuple((o.address, o.amount) for o in self.outputs),
+            self.nonce,
+        )
+
+    @property
+    def is_coinbase(self) -> bool:
+        return len(self.inputs) == 0
+
+    def output_total(self) -> int:
+        return sum(o.amount for o in self.outputs)
+
+    def output_shards(self, m: int) -> set[int]:
+        return {shard_of_address(o.address, m) for o in self.outputs}
+
+    def outpoints(self) -> tuple[tuple[bytes, int], ...]:
+        """The (txid, index) pairs this transaction consumes."""
+        return tuple((i.txid, i.index) for i in self.inputs)
+
+    def __repr__(self) -> str:
+        return (
+            f"Transaction({self.txid.hex()[:10]}…, {len(self.inputs)} in, "
+            f"{len(self.outputs)} out)"
+        )
+
+
+def make_transfer(
+    source: tuple[bytes, int],
+    source_amount: int,
+    payee: str,
+    amount: int,
+    change_address: str,
+    fee: int = 1,
+    nonce: int = 0,
+) -> Transaction:
+    """Build a single-input transfer paying ``amount`` to ``payee`` with the
+    remainder (minus ``fee``) returned to ``change_address``.
+
+    Raises if the source cannot cover amount + fee — workload code should
+    only build coverable transfers (invalid transactions are injected
+    deliberately, not by accident).
+    """
+    if amount <= 0:
+        raise ValueError("amount must be positive")
+    if fee < 0:
+        raise ValueError("fee cannot be negative")
+    change = source_amount - amount - fee
+    if change < 0:
+        raise ValueError(
+            f"source {source_amount} cannot cover amount {amount} + fee {fee}"
+        )
+    outputs = [TxOutput(payee, amount)]
+    if change > 0:
+        outputs.append(TxOutput(change_address, change))
+    return Transaction(
+        inputs=(TxInput(*source),), outputs=tuple(outputs), nonce=nonce
+    )
+
+
+def make_coinbase(outputs: list[TxOutput], nonce: int = 0) -> Transaction:
+    """Genesis / reward transaction creating coins from nothing."""
+    return Transaction(inputs=(), outputs=tuple(outputs), nonce=nonce)

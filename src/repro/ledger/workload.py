@@ -1,0 +1,276 @@
+"""Synthetic transaction workload generator.
+
+The paper assumes "a large set of transactions are continuously sent to our
+network by external users" (§III-D).  This generator plays those users:
+
+* a population of addresses pre-bucketed by shard;
+* a genesis coinbase endowing every address;
+* batches with a configurable cross-shard ratio (output shard differs from
+  the input's home shard) and an invalid ratio (double spends, overspends,
+  phantom inputs) to exercise V and the No votes;
+* its own spend tracking so *intended-valid* transactions never collide,
+  while injected double spends are deliberate.
+
+Every generated transaction is wrapped in :class:`TaggedTx`, carrying ground
+truth (home shard, output shards, intended validity and the injected defect)
+so tests and benchmarks can score committee decisions exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ledger.transaction import (
+    Transaction,
+    TxInput,
+    TxOutput,
+    make_coinbase,
+    shard_of_address,
+)
+from repro.ledger.utxo import UTXOSet
+
+
+@dataclass(frozen=True)
+class TaggedTx:
+    """A generated transaction plus generator-side ground truth."""
+
+    tx: Transaction
+    home_shard: int  # shard owning all inputs
+    cross_shard: bool  # any output in a different shard
+    intended_valid: bool
+    defect: str | None = None  # 'double_spend' | 'overspend' | 'phantom_input'
+
+
+class WorkloadGenerator:
+    """Deterministic transaction stream for ``m`` shards."""
+
+    def __init__(
+        self,
+        m: int,
+        users_per_shard: int,
+        rng: np.random.Generator,
+        endowment: int = 1_000,
+        fee: int = 1,
+    ) -> None:
+        if m <= 0 or users_per_shard <= 0:
+            raise ValueError("m and users_per_shard must be positive")
+        self.m = m
+        self.rng = rng
+        self.fee = fee
+        self.endowment = endowment
+        self._nonce = 0
+        # Bucket addresses by their hash-derived shard until each bucket is
+        # full; the address space is dense enough that this terminates fast.
+        self.addresses_by_shard: list[list[str]] = [[] for _ in range(m)]
+        serial = 0
+        while any(len(bucket) < users_per_shard for bucket in self.addresses_by_shard):
+            address = f"user-{serial:08d}"
+            serial += 1
+            shard = shard_of_address(address, m)
+            if len(self.addresses_by_shard[shard]) < users_per_shard:
+                self.addresses_by_shard[shard].append(address)
+        self.genesis_tx = make_coinbase(
+            [
+                TxOutput(address, endowment)
+                for bucket in self.addresses_by_shard
+                for address in bucket
+            ]
+        )
+        # Generator-side view of what is spendable, per shard.
+        self._spendable: list[list[tuple[tuple[bytes, int], str, int]]] = [
+            [] for _ in range(m)
+        ]
+        for index, output in enumerate(self.genesis_tx.outputs):
+            shard = shard_of_address(output.address, m)
+            self._spendable[shard].append(
+                ((self.genesis_tx.txid, index), output.address, output.amount)
+            )
+        self._spent: list[tuple[tuple[bytes, int], str, int]] = []
+        self._spent_this_batch: list[tuple[tuple[bytes, int], str, int]] = []
+        self._pending: list[tuple[int, tuple[tuple[bytes, int], str, int]]] = []
+        # txid -> (home, consumed entry, [(shard, created entry), ...]) for
+        # the most recent batch, so confirm_round can undo unpacked txs.
+        self._last_batch_effects: dict[
+            bytes,
+            tuple[int, tuple, list[tuple[int, tuple]]],
+        ] = {}
+
+    # -- helpers ----------------------------------------------------------
+    def genesis_utxos(self) -> UTXOSet:
+        utxos = UTXOSet()
+        for index, output in enumerate(self.genesis_tx.outputs):
+            utxos.add((self.genesis_tx.txid, index), output)
+        return utxos
+
+    def _next_nonce(self) -> int:
+        self._nonce += 1
+        return self._nonce
+
+    def _pick_payee(self, home: int, cross: bool) -> str:
+        if cross and self.m > 1:
+            other = int(self.rng.integers(0, self.m - 1))
+            if other >= home:
+                other += 1
+            shard = other
+        else:
+            shard = home
+        bucket = self.addresses_by_shard[shard]
+        return bucket[int(self.rng.integers(0, len(bucket)))]
+
+    def _build_valid(self, home: int, cross: bool) -> TaggedTx | None:
+        if not self._spendable[home]:
+            return None
+        idx = int(self.rng.integers(0, len(self._spendable[home])))
+        outpoint, owner, amount = self._spendable[home].pop(idx)
+        # Visible to the double-spend injector only from the next batch:
+        # within a batch every tx is validated against round-start UTXOs,
+        # where a same-batch "double spend" would in fact be valid.
+        self._spent_this_batch.append((outpoint, owner, amount))
+        payee = self._pick_payee(home, cross)
+        spend = max(1, int(self.rng.integers(1, max(2, amount - self.fee))))
+        change = amount - spend - self.fee
+        outputs = [TxOutput(payee, spend)]
+        if change > 0:
+            outputs.append(TxOutput(owner, change))
+        tx = Transaction(
+            inputs=(TxInput(*outpoint),),
+            outputs=tuple(outputs),
+            nonce=self._next_nonce(),
+        )
+        # Outputs created in this batch become spendable only from the NEXT
+        # batch: committees validate against round-start UTXOs, so a chained
+        # spend inside one round would (correctly) be voted No (§VIII-B).
+        created: list[tuple[int, tuple]] = []
+        if change > 0:
+            created.append((home, ((tx.txid, 1), owner, change)))
+        out_shard = shard_of_address(payee, self.m)
+        created.append((out_shard, ((tx.txid, 0), payee, spend)))
+        self._pending.extend(created)
+        self._last_batch_effects[tx.txid] = (
+            home,
+            (outpoint, owner, amount),
+            created,
+        )
+        return TaggedTx(
+            tx=tx,
+            home_shard=home,
+            cross_shard=out_shard != home,
+            intended_valid=True,
+        )
+
+    def _build_invalid(self, home: int, cross: bool) -> TaggedTx:
+        defect = str(self.rng.choice(["double_spend", "overspend", "phantom_input"]))
+        payee = self._pick_payee(home, cross)
+        if defect == "double_spend" and self._spent:
+            outpoint, owner, amount = self._spent[
+                int(self.rng.integers(0, len(self._spent)))
+            ]
+            tx = Transaction(
+                inputs=(TxInput(*outpoint),),
+                outputs=(TxOutput(payee, max(1, amount - self.fee)),),
+                nonce=self._next_nonce(),
+            )
+        elif defect == "overspend" and self._spendable[home]:
+            # Spend a real UTXO but emit more value than it holds.  The
+            # outpoint is NOT consumed from the spendable pool: V rejects the
+            # transaction, so the coin remains live.
+            outpoint, owner, amount = self._spendable[home][
+                int(self.rng.integers(0, len(self._spendable[home])))
+            ]
+            tx = Transaction(
+                inputs=(TxInput(*outpoint),),
+                outputs=(TxOutput(payee, amount * 2 + 1),),
+                nonce=self._next_nonce(),
+            )
+        else:
+            defect = "phantom_input"
+            phantom = (
+                Transaction(
+                    inputs=(),
+                    outputs=(TxOutput("nobody", 1),),
+                    nonce=self._next_nonce(),
+                ).txid,
+                0,
+            )
+            tx = Transaction(
+                inputs=(TxInput(*phantom),),
+                outputs=(TxOutput(payee, 10),),
+                nonce=self._next_nonce(),
+            )
+        out_shard = shard_of_address(payee, self.m)
+        return TaggedTx(
+            tx=tx,
+            home_shard=home,
+            cross_shard=out_shard != home,
+            intended_valid=False,
+            defect=defect,
+        )
+
+    # -- public API ------------------------------------------------------------
+    def generate_batch(
+        self,
+        count: int,
+        cross_shard_ratio: float = 0.0,
+        invalid_ratio: float = 0.0,
+    ) -> list[TaggedTx]:
+        """Generate ``count`` transactions (fewer only if shards run dry)."""
+        if not (0.0 <= cross_shard_ratio <= 1.0):
+            raise ValueError("cross_shard_ratio must be in [0, 1]")
+        if not (0.0 <= invalid_ratio <= 1.0):
+            raise ValueError("invalid_ratio must be in [0, 1]")
+        batch: list[TaggedTx] = []
+        self._last_batch_effects = {}
+        for _ in range(count):
+            home = int(self.rng.integers(0, self.m))
+            cross = bool(self.rng.random() < cross_shard_ratio)
+            invalid = bool(self.rng.random() < invalid_ratio)
+            tagged = (
+                self._build_invalid(home, cross)
+                if invalid
+                else self._build_valid(home, cross)
+            )
+            if tagged is not None:
+                batch.append(tagged)
+        for shard, entry in self._pending:
+            self._spendable[shard].append(entry)
+        self._pending.clear()
+        self._spent.extend(self._spent_this_batch)
+        self._spent_this_batch.clear()
+        return batch
+
+    def confirm_round(self, packed_txids: set[bytes]) -> int:
+        """Reconcile the generator's view with what the chain packed.
+
+        Intended-valid transactions from the last batch that did NOT make it
+        into the block (committee budget, leader failure, void round) never
+        happened on-chain: their created outputs are withdrawn from the
+        spendable pool and the consumed input is returned.  Returns the
+        number of transactions rolled back.
+        """
+        rolled_back = 0
+        for txid, (home, consumed, created) in self._last_batch_effects.items():
+            if txid in packed_txids:
+                continue
+            for shard, entry in created:
+                try:
+                    self._spendable[shard].remove(entry)
+                except ValueError:
+                    pass  # already consumed — cannot happen before next batch
+            self._spendable[home].append(consumed)
+            try:
+                self._spent.remove(consumed)
+            except ValueError:
+                pass
+            rolled_back += 1
+        self._last_batch_effects = {}
+        return rolled_back
+
+    def by_home_shard(self, batch: Sequence[TaggedTx]) -> list[list[TaggedTx]]:
+        """Route a batch to committees by input ownership (Fig. 2 step 2)."""
+        routed: list[list[TaggedTx]] = [[] for _ in range(self.m)]
+        for tagged in batch:
+            routed[tagged.home_shard].append(tagged)
+        return routed

@@ -1,0 +1,19 @@
+"""Instrumentation: phase/role-tagged traffic and storage counters.
+
+Table II of the paper states per-phase, per-role communication and storage
+complexities.  Every message the network simulator delivers and every
+storage high-water mark protocol code reports is recorded here, keyed by
+``(phase, role)``, so benchmarks can measure the *actual* scaling and fit
+exponents against the claimed O(·) classes.
+"""
+
+from repro.metrics.counters import MetricsCollector, PhaseStats, Roles
+from repro.metrics.fitting import fit_power_law, scaling_exponent
+
+__all__ = [
+    "MetricsCollector",
+    "PhaseStats",
+    "Roles",
+    "fit_power_law",
+    "scaling_exponent",
+]

@@ -1,0 +1,47 @@
+"""Power-law fitting for empirical complexity validation.
+
+Table II claims per-phase complexities like O(c), O(c²), O(m²), O(n).  The
+complexity benchmark measures counters at several network sizes and fits
+``y = a·x^b`` in log-log space; the fitted exponent ``b`` is then compared
+to the claimed one.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Least-squares fit of ``y = a·x^b``; returns ``(a, b)``.
+
+    Zero or negative samples are rejected — counters are positive by
+    construction, so a zero usually signals a mis-tagged phase.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.ndim != 1 or x.shape != y.shape or x.size < 2:
+        raise ValueError("need two equal-length 1-D samples, length >= 2")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit requires strictly positive data")
+    slope, intercept = np.polyfit(np.log(x), np.log(y), 1)
+    return float(np.exp(intercept)), float(slope)
+
+
+def scaling_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Just the exponent ``b`` of the power-law fit."""
+    return fit_power_law(xs, ys)[1]
+
+
+def r_squared_loglog(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Goodness of fit of the log-log regression (1.0 = perfect power law)."""
+    x = np.log(np.asarray(xs, dtype=float))
+    y = np.log(np.asarray(ys, dtype=float))
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

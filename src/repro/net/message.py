@@ -1,0 +1,83 @@
+"""Message envelopes and wire-size estimation."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+_SIG_SIZE = 64  # public key reference + MAC tag, like an Ed25519 signature
+_HASH_SIZE = 32
+_INT_SIZE = 8
+
+
+def payload_size(obj: Any) -> int:
+    """Estimate the wire size of a payload in bytes.
+
+    This drives the byte counters behind Table II; it is a *model* of
+    serialized size (ints 8 B, hashes 32 B, signatures 64 B, strings/bytes
+    their length, containers the sum of elements plus small framing), not an
+    actual codec.  Consistency across protocols is what matters for the
+    complexity comparison.
+    """
+    if obj is None:
+        return 1
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, int):
+        return _INT_SIZE
+    if isinstance(obj, float):
+        return _INT_SIZE
+    if isinstance(obj, bytes):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return 2 + sum(payload_size(x) for x in obj)
+    if isinstance(obj, dict):
+        return 2 + sum(payload_size(k) + payload_size(v) for k, v in obj.items())
+    # Signatures and VRF outputs get their conventional fixed sizes.
+    type_name = type(obj).__name__
+    if type_name == "Signature":
+        return _SIG_SIZE
+    if type_name == "VRFOutput":
+        return _SIG_SIZE + _HASH_SIZE
+    if dataclasses.is_dataclass(obj):
+        return 2 + sum(
+            payload_size(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        )
+    if isinstance(obj, np_integer_types()):
+        return _INT_SIZE
+    raise TypeError(f"payload_size cannot size {type_name}")
+
+
+def np_integer_types() -> tuple[type, ...]:
+    import numpy as np
+
+    return (np.integer, np.floating)
+
+
+@dataclass(slots=True)
+class Message:
+    """One in-flight message.
+
+    ``tag`` selects the handler on the receiving node (the paper's message
+    tags: PROPOSE, ECHO, CONFIRM, CONFIG, MEM_LIST, SEMI_COM, TX_LIST, VOTE,
+    INTRA, NEW, …).  ``channel`` is the latency class the topology assigned
+    to the (sender, recipient) pair.
+    """
+
+    sender: int
+    recipient: int
+    tag: str
+    payload: Any
+    size: int
+    channel: str
+    send_time: float
+    deliver_time: float
+
+    def __repr__(self) -> str:
+        return (
+            f"Message({self.sender}->{self.recipient} {self.tag} "
+            f"{self.size}B @{self.deliver_time:.2f})"
+        )

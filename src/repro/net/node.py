@@ -1,0 +1,69 @@
+"""Base class for protocol participants."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.crypto.pki import KeyPair
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.message import Message
+    from repro.net.simulator import Network
+
+
+class ProtocolNode:
+    """A participant: identity, key pair, and a tag-dispatched inbox.
+
+    Subclasses register handlers with :meth:`on`; unhandled tags go to
+    :meth:`on_default` (a no-op for honest nodes — unknown messages from
+    Byzantine peers are simply ignored, as in classical BFT practice).
+    """
+
+    def __init__(self, node_id: int, keypair: KeyPair) -> None:
+        self.node_id = node_id
+        self.keypair = keypair
+        self.network: "Network | None" = None
+        self.handlers: dict[str, Callable[["Message"], None]] = {}
+        self.online = True
+
+    # -- wiring ------------------------------------------------------------
+    def attach(self, network: "Network") -> None:
+        self.network = network
+
+    def on(self, tag: str, handler: Callable[["Message"], None]) -> None:
+        self.handlers[tag] = handler
+
+    # -- I/O ------------------------------------------------------------------
+    def send(self, recipient: int, tag: str, payload: Any, size: int | None = None) -> None:
+        if self.network is None:
+            raise RuntimeError(f"node {self.node_id} is not attached to a network")
+        if not self.online:
+            return  # offline nodes transmit nothing
+        self.network.send(self.node_id, recipient, tag, payload, size=size)
+
+    def multicast(
+        self, recipients: Any, tag: str, payload: Any, size: int | None = None
+    ) -> None:
+        """Paper's BROADCAST: multicast to all known members of a group."""
+        for recipient in recipients:
+            if recipient != self.node_id:
+                self.send(recipient, tag, payload, size=size)
+
+    def receive(self, message: "Message") -> None:
+        if not self.online:
+            return  # offline nodes hear nothing
+        handler = self.handlers.get(message.tag)
+        if handler is not None:
+            handler(message)
+        else:
+            self.on_default(message)
+
+    def on_default(self, message: "Message") -> None:
+        """Unknown tags are ignored (Byzantine noise tolerance)."""
+
+    @property
+    def pk(self) -> str:
+        return self.keypair.pk
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.node_id}, pk={self.pk[:8]}…)"

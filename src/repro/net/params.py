@@ -1,0 +1,55 @@
+"""Network model parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ChannelClass:
+    """Latency classes from §III-B."""
+
+    INTRA = "intra"  # within a committee: synchronous, delay <= delta
+    KEY = "key"  # key member <-> key member: synchronous, delay <= gamma
+    REFEREE = "referee"  # key member <-> referee member: delay <= gamma
+    PARTIAL = "partial"  # everything else: partially synchronous
+    LOCAL = "local"  # node to itself (zero-cost bookkeeping)
+
+    ALL = (INTRA, KEY, REFEREE, PARTIAL, LOCAL)
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Delay bounds and adversarial-scheduling knobs.
+
+    ``delta`` and ``gamma`` are the paper's Δ and Γ.  ``partial_base`` is the
+    base delay of partially-synchronous channels; the adversary may stretch
+    those (and only those) up to ``partial_max_stretch``×.  ``jitter`` is the
+    honest random variation applied to every channel (delays are sampled in
+    ``[base·(1-jitter), base]`` so the synchrony bounds are never exceeded).
+    """
+
+    delta: float = 1.0
+    gamma: float = 4.0
+    partial_base: float = 10.0
+    partial_max_stretch: float = 4.0
+    jitter: float = 0.25
+    max_events: int = 5_000_000
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0 or self.gamma <= 0 or self.partial_base <= 0:
+            raise ValueError("delays must be positive")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError("jitter must be in [0, 1)")
+        if self.partial_max_stretch < 1.0:
+            raise ValueError("partial_max_stretch must be >= 1")
+
+    def base_delay(self, channel_class: str) -> float:
+        if channel_class == ChannelClass.INTRA:
+            return self.delta
+        if channel_class in (ChannelClass.KEY, ChannelClass.REFEREE):
+            return self.gamma
+        if channel_class == ChannelClass.PARTIAL:
+            return self.partial_base
+        if channel_class == ChannelClass.LOCAL:
+            return 0.0
+        raise ValueError(f"unknown channel class {channel_class!r}")

@@ -1,0 +1,179 @@
+"""Event-driven network simulator.
+
+A single ``heapq`` of ``(deliver_time, seq, message)`` drives the run.  The
+simulator is deliberately allocation-light (slotted messages, one heap, no
+per-message objects beyond the envelope) so complexity benchmarks with tens
+of thousands of messages stay fast, per the HPC guide's advice to keep the
+inner loop simple and measured.
+
+Adversarial power (§III-C): "The adversary can change the order of messages
+sent by non-faulty nodes for the restriction given in our network model."
+We model this with an optional reorder hook that may stretch *partially
+synchronous* channels up to ``partial_max_stretch``× and permute delivery
+within the synchrony bound on Δ/Γ channels — the adversary can never violate
+the synchrony assumption itself.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from repro.metrics.counters import MetricsCollector
+from repro.net.message import Message, payload_size
+from repro.net.params import ChannelClass, NetworkParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import ProtocolNode
+
+
+class SimulationError(RuntimeError):
+    """Raised for protocol-level misuse of the network (e.g. sending on a
+    channel the topology does not provide)."""
+
+
+class Network:
+    """The message fabric plus the event loop.
+
+    ``channel_classifier(src, dst) -> str`` assigns each ordered pair a
+    latency class; in strict mode a classifier returning ``None`` (no
+    channel) makes :meth:`send` raise, enforcing the paper's light
+    connection graph.
+    """
+
+    def __init__(
+        self,
+        params: NetworkParams,
+        rng: np.random.Generator,
+        metrics: MetricsCollector | None = None,
+        strict_channels: bool = True,
+    ) -> None:
+        self.params = params
+        self.rng = rng
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.strict_channels = strict_channels
+        self.nodes: dict[int, "ProtocolNode"] = {}
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Message | None, Callable | None]] = []
+        self._seq = itertools.count()
+        self.channel_classifier: Callable[[int, int], str | None] = (
+            lambda src, dst: ChannelClass.PARTIAL
+        )
+        self.adversarial_scheduler: Callable[[Message], float] | None = None
+        self.delivered_messages = 0
+        self.dropped_messages = 0
+        self.drop_filter: Callable[[Message], bool] | None = None
+
+    # -- wiring ------------------------------------------------------------
+    def add_node(self, node: "ProtocolNode") -> None:
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        self.nodes[node.node_id] = node
+        node.attach(self)
+
+    def set_channel_classifier(
+        self, classifier: Callable[[int, int], str | None]
+    ) -> None:
+        self.channel_classifier = classifier
+
+    # -- latency model ----------------------------------------------------
+    def _sample_delay(self, channel_class: str, message: Message | None = None) -> float:
+        base = self.params.base_delay(channel_class)
+        if base == 0.0:
+            return 0.0
+        jitter = self.params.jitter
+        delay = base * (1.0 - jitter * float(self.rng.random()))
+        if (
+            channel_class == ChannelClass.PARTIAL
+            and self.adversarial_scheduler is not None
+            and message is not None
+        ):
+            stretch = self.adversarial_scheduler(message)
+            stretch = min(max(stretch, 1.0), self.params.partial_max_stretch)
+            delay *= stretch
+        return delay
+
+    # -- sending ---------------------------------------------------------------
+    def send(
+        self,
+        sender: int,
+        recipient: int,
+        tag: str,
+        payload: Any,
+        size: int | None = None,
+    ) -> None:
+        if recipient not in self.nodes:
+            raise SimulationError(f"unknown recipient {recipient}")
+        channel = self.channel_classifier(sender, recipient)
+        if channel is None:
+            if self.strict_channels:
+                raise SimulationError(
+                    f"no channel from {sender} to {recipient}: the topology "
+                    "does not provide this link (see §III-B)"
+                )
+            channel = ChannelClass.PARTIAL
+        nbytes = size if size is not None else payload_size(payload)
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            tag=tag,
+            payload=payload,
+            size=nbytes,
+            channel=channel,
+            send_time=self.now,
+            deliver_time=0.0,
+        )
+        if self.drop_filter is not None and self.drop_filter(message):
+            self.dropped_messages += 1
+            return
+        message.deliver_time = self.now + self._sample_delay(channel, message)
+        self.metrics.record_send(sender, nbytes)
+        heapq.heappush(
+            self._queue, (message.deliver_time, next(self._seq), message, None)
+        )
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule a timer (used for the paper's timeout rules, e.g. the 2Γ
+        wait in Lemma 7 and the 6Δ vote-collection window)."""
+        if time < self.now:
+            raise SimulationError("cannot schedule in the past")
+        heapq.heappush(self._queue, (time, next(self._seq), None, callback))
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> None:
+        self.call_at(self.now + delay, callback)
+
+    # -- event loop -----------------------------------------------------------
+    def run(self, until: float | None = None) -> float:
+        """Process events until the queue drains (or ``until`` is reached).
+
+        Returns the simulation time after the last processed event.
+        """
+        processed = 0
+        while self._queue:
+            deliver_time, _, message, callback = self._queue[0]
+            if until is not None and deliver_time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = deliver_time
+            if message is not None:
+                node = self.nodes.get(message.recipient)
+                if node is not None:
+                    node.receive(message)
+                    self.delivered_messages += 1
+            elif callback is not None:
+                callback()
+            processed += 1
+            if processed > self.params.max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({self.params.max_events}); "
+                    "likely a message loop"
+                )
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,124 @@
+"""Mildly-adaptive adversary controller (§III-C).
+
+"We may assume the existence of a probabilistic polynomial-time Adversary
+which takes control of less than 1/3 part of total nodes. … he/she is
+allowed to corrupt a set of nodes at the start of any round.  Nevertheless,
+such corruption attempts require at least a round's time to take effect."
+
+The controller owns the corrupted set and assigns behaviours:
+
+* corrupted nodes that end up as leaders get a leader attack strategy;
+* corrupted ordinary members get a voter attack strategy;
+* corruption requests lodged in round ``r`` activate in round ``r+1``
+  (mild adaptivity) — :meth:`request_corruption` / :meth:`advance_round`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nodes.behaviors import (
+    BEHAVIOR_REGISTRY,
+    Behavior,
+    ContraryVoter,
+    EquivocatingLeader,
+    HonestBehavior,
+)
+
+
+@dataclass
+class AdversaryConfig:
+    """Static description of the adversary.
+
+    ``fraction`` < 1/3 per the threat model (a larger value is allowed for
+    experiments that demonstrate failure beyond the bound).
+    ``leader_strategy`` / ``voter_strategy`` name entries in
+    :data:`BEHAVIOR_REGISTRY`; ``strategy_kwargs`` are forwarded to the
+    leader strategy constructor.
+    """
+
+    fraction: float = 0.0
+    leader_strategy: str = "equivocating_leader"
+    voter_strategy: str = "contrary_voter"
+    offline_fraction: float = 0.0  # share of corrupted nodes simply offline
+    strategy_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.fraction <= 1.0):
+            raise ValueError("fraction must be in [0, 1]")
+        if self.leader_strategy not in BEHAVIOR_REGISTRY:
+            raise ValueError(f"unknown leader strategy {self.leader_strategy!r}")
+        if self.voter_strategy not in BEHAVIOR_REGISTRY:
+            raise ValueError(f"unknown voter strategy {self.voter_strategy!r}")
+
+
+class AdversaryController:
+    """Chooses who is corrupted and what they do."""
+
+    def __init__(
+        self, config: AdversaryConfig, node_ids: list[int], rng: np.random.Generator
+    ) -> None:
+        self.config = config
+        self.rng = rng
+        self.all_ids = list(node_ids)
+        t = int(config.fraction * len(node_ids))
+        corrupted = rng.choice(node_ids, size=t, replace=False) if t else []
+        self.corrupted: set[int] = set(int(x) for x in corrupted)
+        self.offline: set[int] = set(
+            int(x)
+            for x in self.rng.choice(
+                sorted(self.corrupted),
+                size=int(config.offline_fraction * len(self.corrupted)),
+                replace=False,
+            )
+        ) if self.corrupted and config.offline_fraction > 0 else set()
+        self._pending_corruptions: set[int] = set()
+
+    # -- membership --------------------------------------------------------
+    def is_corrupted(self, node_id: int) -> bool:
+        return node_id in self.corrupted
+
+    @property
+    def count(self) -> int:
+        return len(self.corrupted)
+
+    # -- behaviour assignment ------------------------------------------------
+    def leader_behavior(self, node_id: int) -> Behavior:
+        if node_id not in self.corrupted:
+            return HonestBehavior()
+        cls = BEHAVIOR_REGISTRY[self.config.leader_strategy]
+        try:
+            return cls(**self.config.strategy_kwargs)
+        except TypeError:
+            return cls()
+
+    def voter_behavior(self, node_id: int) -> Behavior:
+        if node_id not in self.corrupted:
+            return HonestBehavior()
+        return BEHAVIOR_REGISTRY[self.config.voter_strategy]()
+
+    def is_offline(self, node_id: int) -> bool:
+        return node_id in self.offline
+
+    # -- mild adaptivity ----------------------------------------------------
+    def request_corruption(self, node_ids: set[int]) -> None:
+        """Lodge corruption attempts; they take effect only after
+        :meth:`advance_round` (at least a round's delay, §III-C)."""
+        self._pending_corruptions |= set(node_ids)
+
+    def advance_round(self) -> None:
+        self.corrupted |= self._pending_corruptions
+        self._pending_corruptions = set()
+
+
+def honest_majority_everywhere(
+    committees: list[list[int]], adversary: AdversaryController
+) -> bool:
+    """Check the security predicate: every committee > 1/2 honest."""
+    for members in committees:
+        bad = sum(1 for node in members if adversary.is_corrupted(node))
+        if bad * 2 >= len(members):
+            return False
+    return True

@@ -1,0 +1,28 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crypto.pki import PKI
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def pki() -> PKI:
+    return PKI()
+
+
+@pytest.fixture
+def keypair(pki):
+    return pki.generate("fixture-key")
+
+
+@pytest.fixture
+def keypair_b(pki):
+    return pki.generate("fixture-key-b")

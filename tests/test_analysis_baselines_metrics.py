@@ -1,0 +1,181 @@
+"""Complexity claims, incentive analysis, baselines, metrics machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import TABLE2_CLAIMS, claimed_exponent, table2_rows
+from repro.analysis.incentive import expected_score, leader_punishment, reward_shares
+from repro.baselines import (
+    ALL_MODELS,
+    CycLedgerModel,
+    ElasticoModel,
+    OmniLedgerModel,
+    RapidChainModel,
+    simulate_leader_stalls,
+)
+from repro.metrics.counters import MetricsCollector, Roles
+from repro.metrics.fitting import fit_power_law, r_squared_loglog, scaling_exponent
+
+
+# -- complexity claims ---------------------------------------------------------
+
+
+def test_table2_has_all_rows():
+    assert len(TABLE2_CLAIMS) == 19
+    assert len(table2_rows()) == 19
+    phases = {claim.phase for claim in TABLE2_CLAIMS}
+    assert phases == {
+        "config", "semicommit", "intra", "inter", "reputation", "selection", "block",
+    }
+
+
+def test_claimed_exponent_linear_sweep():
+    # sweep with m fixed, c growing: O(c²) should show exponent ~2 in n
+    ns = np.array([64, 128, 256])
+    ms = np.array([4, 4, 4])
+    cs = ns // ms
+    assert claimed_exponent((0, 0, 2), ns, ms, cs) == pytest.approx(2.0)
+    assert claimed_exponent((1, 0, 0), ns, ms, cs) == pytest.approx(1.0)
+    assert claimed_exponent((0, 1, 0), ns, ms, cs) == pytest.approx(0.0)
+
+
+def test_render_table():
+    rows = table2_rows()
+    rendered = {(phase, role): (comm, sto) for phase, role, comm, sto in rows}
+    assert rendered[("config", Roles.KEY)] == ("O(c^2)", "O(c^2)")
+    assert rendered[("semicommit", Roles.REFEREE)] == ("O(m^2)", "O(m)")
+    assert rendered[("config", Roles.REFEREE)] == ("-", "-")
+
+
+# -- incentive ----------------------------------------------------------------
+
+
+def test_expected_score_monotone_in_capacity():
+    scores = [expected_score(k, 20) for k in range(0, 21, 5)]
+    assert scores == sorted(scores)
+    assert scores[0] == 0.0
+    assert scores[-1] == pytest.approx(1.0)
+
+
+def test_reward_shares_normalized():
+    shares = reward_shares({"a": 1.0, "b": -1.0, "c": 0.0})
+    assert sum(shares.values()) == pytest.approx(1.0)
+    assert shares["a"] > shares["c"] > shares["b"]
+
+
+def test_leader_punishment_cube_root():
+    assert leader_punishment(27.0) == pytest.approx(3.0)
+    assert leader_punishment(-2.0) == 0.0
+
+
+# -- baselines ----------------------------------------------------------------
+
+
+def test_table1_qualitative_rows():
+    profiles = {model.name: model for model in ALL_MODELS}
+    assert profiles["Elastico"].resiliency == pytest.approx(1 / 4)
+    assert profiles["OmniLedger"].resiliency == pytest.approx(1 / 4)
+    assert profiles["RapidChain"].resiliency == pytest.approx(1 / 3)
+    assert profiles["CycLedger"].resiliency == pytest.approx(1 / 3)
+    assert profiles["CycLedger"].leader_robust
+    assert profiles["CycLedger"].has_incentives
+    assert not any(
+        profiles[name].leader_robust for name in ("Elastico", "OmniLedger", "RapidChain")
+    )
+    assert profiles["CycLedger"].connection_burden == "light"
+
+
+def test_storage_rows():
+    n, m, c = 2000, 10, 200
+    assert ElasticoModel().storage(n, m, c) == n
+    assert OmniLedgerModel().storage(n, m, c) == pytest.approx(c + np.log(m))
+    assert RapidChainModel().storage(n, m, c) == c
+    assert CycLedgerModel().storage(n, m, c) == pytest.approx(m * m / n + c)
+
+
+def test_connection_burden_quantified():
+    n, m, c, lam, cr = 2000, 10, 200, 40, 200
+    cyc = CycLedgerModel().connection_channels(n, m, c, lam, cr)
+    heavy = RapidChainModel().connection_channels(n, m, c, lam, cr)
+    assert cyc < heavy / 2
+
+
+def test_leader_stall_crossover(rng):
+    """The headline row: at 1/3 malicious leaders, baselines commit ~44% of
+    cross-shard txs ((2/3)²) while CycLedger stays ~100%."""
+    rapid = simulate_leader_stalls(RapidChainModel(), 1 / 3, 200, 20, rng)
+    cyc = simulate_leader_stalls(CycLedgerModel(), 1 / 3, 200, 20, rng)
+    assert abs(rapid.committed_fraction - 4 / 9) < 0.05
+    assert cyc.committed_fraction > 0.999
+
+
+def test_leader_stall_honest_leaders_equal(rng):
+    rapid = simulate_leader_stalls(RapidChainModel(), 0.0, 50, 10, rng)
+    cyc = simulate_leader_stalls(CycLedgerModel(), 0.0, 50, 10, rng)
+    assert rapid.committed_fraction == 1.0 == cyc.committed_fraction
+
+
+def test_stall_validation(rng):
+    with pytest.raises(ValueError):
+        simulate_leader_stalls(RapidChainModel(), 1.5, 10, 10, rng)
+
+
+# -- metrics ---------------------------------------------------------------------
+
+
+def test_counters_by_phase_and_role():
+    metrics = MetricsCollector()
+    metrics.set_role(1, Roles.KEY)
+    metrics.set_role(2, Roles.COMMON)
+    metrics.set_phase("intra")
+    metrics.record_send(1, 100)
+    metrics.record_send(2, 50)
+    metrics.set_phase("block")
+    metrics.record_send(1, 10)
+    assert metrics.messages_in("intra", Roles.KEY) == 1
+    assert metrics.bytes_in("intra", Roles.COMMON) == 50
+    assert metrics.messages_in("block", Roles.KEY) == 1
+    assert metrics.total_messages() == 3
+    assert metrics.phases() == ["intra", "block"]
+
+
+def test_storage_high_water():
+    metrics = MetricsCollector()
+    metrics.set_role(1, Roles.REFEREE)
+    metrics.record_storage(1, 10)
+    metrics.record_storage(1, 5)
+    assert metrics.storage_in("setup", Roles.REFEREE) == 10
+
+
+def test_merge():
+    a, b = MetricsCollector(), MetricsCollector()
+    a.set_role(1, Roles.KEY)
+    b.set_role(1, Roles.KEY)
+    a.set_phase("intra"); a.record_send(1, 10)
+    b.set_phase("intra"); b.record_send(1, 20); b.record_storage(1, 7)
+    a.merge(b)
+    assert a.messages_in("intra", Roles.KEY) == 2
+    assert a.bytes_in("intra", Roles.KEY) == 30
+    assert a.storage_in("intra", Roles.KEY) == 7
+
+
+def test_unknown_role_rejected():
+    with pytest.raises(ValueError):
+        MetricsCollector().set_role(1, "king")
+
+
+def test_fit_power_law_recovers_exponent():
+    xs = np.array([10, 20, 40, 80], dtype=float)
+    ys = 3.0 * xs**2
+    a, b = fit_power_law(xs, ys)
+    assert a == pytest.approx(3.0, rel=1e-6)
+    assert b == pytest.approx(2.0, abs=1e-9)
+    assert scaling_exponent(xs, ys) == pytest.approx(2.0)
+    assert r_squared_loglog(xs, ys) == pytest.approx(1.0)
+
+
+def test_fit_validation():
+    with pytest.raises(ValueError):
+        fit_power_law([1.0], [2.0])
+    with pytest.raises(ValueError):
+        fit_power_law([1.0, 2.0], [0.0, 1.0])

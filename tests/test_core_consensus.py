@@ -1,0 +1,148 @@
+"""Algorithm 3: inside-committee consensus, equivocation, certificates."""
+
+import pytest
+
+from repro.core.consensus import (
+    EquivocationWitness,
+    InsideConsensus,
+    consensus_digest,
+    verify_certificate,
+)
+from repro.core.sandbox import build_sandbox
+from repro.crypto.signatures import sign
+from repro.nodes.behaviors import EquivocatingLeader, OfflineNode, SilentLeader
+
+
+def run_consensus(ctx, payload="M", sn=1, session="t"):
+    committee = ctx.committees[0]
+    session_obj = InsideConsensus(
+        ctx, committee.members, leader=committee.leader, sn=sn,
+        payload=payload, session=session,
+    )
+    return session_obj.run()
+
+
+def test_honest_leader_reaches_consensus():
+    ctx = build_sandbox(committee_size=9, lam=2)
+    out = run_consensus(ctx, payload=("TXSET", 1, 2, 3))
+    assert out.success
+    assert out.payload == ("TXSET", 1, 2, 3)
+    assert out.confirms == 9
+    assert out.equivocation is None
+    assert out.elapsed > 0
+
+
+def test_certificate_verifies_and_binds():
+    ctx = build_sandbox(committee_size=9, lam=2)
+    out = run_consensus(ctx, payload="X", sn=("a", 1))
+    pks = [ctx.pk_of(i) for i in ctx.committees[0].members]
+    assert verify_certificate(ctx.pki, pks, 1, ("a", 1), out.digest, out.cert)
+    # wrong sn / digest / member set must fail
+    assert not verify_certificate(ctx.pki, pks, 1, ("a", 2), out.digest, out.cert)
+    assert not verify_certificate(
+        ctx.pki, pks, 1, ("a", 1), consensus_digest("Y"), out.cert
+    )
+    assert not verify_certificate(
+        ctx.pki, pks[:3], 1, ("a", 1), out.digest, out.cert, threshold=4
+    )
+
+
+def test_certificate_discards_foreign_and_duplicate_sigs():
+    ctx = build_sandbox(committee_size=5, lam=2)
+    out = run_consensus(ctx)
+    pks = [ctx.pk_of(i) for i in ctx.committees[0].members]
+    # padding with duplicates cannot inflate the count
+    padded = list(out.cert) + list(out.cert)
+    assert verify_certificate(ctx.pki, pks, 1, 1, out.digest, padded)
+    # a single signature repeated is insufficient
+    one = [out.cert[0]] * 10
+    assert not verify_certificate(ctx.pki, pks, 1, 1, out.digest, one)
+
+
+def test_minority_nonparticipants_tolerated():
+    behaviors = {i: OfflineNode() for i in (5, 6, 7, 8)}
+    ctx = build_sandbox(committee_size=9, lam=2, behaviors=behaviors)
+    out = run_consensus(ctx)
+    assert out.success
+    assert out.confirms == 5
+
+
+def test_majority_nonparticipants_blocks():
+    behaviors = {i: OfflineNode() for i in (4, 5, 6, 7, 8)}
+    ctx = build_sandbox(committee_size=9, lam=2, behaviors=behaviors)
+    out = run_consensus(ctx)
+    assert not out.success
+
+
+def test_equivocating_leader_detected_not_agreed():
+    ctx = build_sandbox(committee_size=9, lam=2, behaviors={0: EquivocatingLeader()})
+    out = run_consensus(ctx)
+    assert not out.success
+    assert out.equivocation is not None
+    assert out.equivocation.is_valid(ctx.pki)
+    assert out.equivocation.leader_pk == ctx.pk_of(0)
+
+
+def test_silent_leader_produces_nothing():
+    ctx = build_sandbox(committee_size=9, lam=2, behaviors={0: SilentLeader()})
+    out = run_consensus(ctx)
+    assert not out.success
+    assert out.confirms == 0
+
+
+def test_leader_must_be_member():
+    ctx = build_sandbox(committee_size=5, lam=2)
+    with pytest.raises(ValueError):
+        InsideConsensus(ctx, [0, 1, 2], leader=4, sn=1, payload="x", session="s")
+
+
+def test_concurrent_sessions_do_not_interfere():
+    ctx = build_sandbox(committee_size=7, lam=2)
+    committee = ctx.committees[0]
+    a = InsideConsensus(ctx, committee.members, 0, sn=1, payload="A", session="sa")
+    b = InsideConsensus(ctx, committee.members, 1, sn=2, payload="B", session="sb")
+    a.start()
+    b.start()
+    ctx.net.run()
+    assert a.outcome.success and a.outcome.payload == "A"
+    assert b.outcome.success and b.outcome.payload == "B"
+
+
+def test_witness_validation_rules(pki):
+    leader = pki.generate("leader")
+    other = pki.generate("other")
+    d1, d2 = consensus_digest("a"), consensus_digest("b")
+    good = EquivocationWitness(
+        leader_pk=leader.pk, round_number=1, sn=1,
+        digest_a=d1, sig_a=sign(leader, ("PROPOSE", 1, 1, d1)),
+        digest_b=d2, sig_b=sign(leader, ("PROPOSE", 1, 1, d2)),
+    )
+    assert good.is_valid(pki)
+    # same digest twice is not equivocation
+    same = EquivocationWitness(
+        leader_pk=leader.pk, round_number=1, sn=1,
+        digest_a=d1, sig_a=sign(leader, ("PROPOSE", 1, 1, d1)),
+        digest_b=d1, sig_b=sign(leader, ("PROPOSE", 1, 1, d1)),
+    )
+    assert not same.is_valid(pki)
+    # signatures by someone else cannot frame the leader
+    framed = EquivocationWitness(
+        leader_pk=leader.pk, round_number=1, sn=1,
+        digest_a=d1, sig_a=sign(other, ("PROPOSE", 1, 1, d1)),
+        digest_b=d2, sig_b=sign(other, ("PROPOSE", 1, 1, d2)),
+    )
+    assert not framed.is_valid(pki)
+
+
+def test_message_complexity_order_c_squared():
+    """Alg. 3 is an all-to-all echo: total messages grow ~ c²."""
+    counts = []
+    for c in (6, 12, 24):
+        ctx = build_sandbox(committee_size=c, lam=2)
+        before = ctx.metrics.total_messages()
+        run_consensus(ctx)
+        counts.append(ctx.metrics.total_messages() - before)
+    ratio1 = counts[1] / counts[0]
+    ratio2 = counts[2] / counts[1]
+    assert 3.0 < ratio1 < 5.0  # doubling c ~ 4x messages
+    assert 3.0 < ratio2 < 5.0

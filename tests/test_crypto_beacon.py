@@ -1,0 +1,66 @@
+"""SCRAPE beacon: unbiasability and liveness under adversarial referees."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.beacon import BeaconReport, ScrapeBeacon, run_beacon
+
+
+def test_honest_beacon_produces_output(rng):
+    out, report = run_beacon(7, round_number=2, rng=rng)
+    assert isinstance(out, bytes) and len(out) == 32
+    assert report.qualified == list(range(7))
+    assert not report.disqualified
+
+
+def test_beacon_deterministic_given_rng():
+    out1, _ = run_beacon(5, 1, np.random.default_rng(9))
+    out2, _ = run_beacon(5, 1, np.random.default_rng(9))
+    assert out1 == out2
+
+
+def test_different_rounds_different_output(rng):
+    beacon = ScrapeBeacon(5, rng)
+    report = BeaconReport(n=5, threshold=beacon.threshold)
+    beacon.deal_all()
+    qualified = beacon.qualify(report)
+    secrets = beacon.reveal_and_reconstruct(qualified, report)
+    assert ScrapeBeacon.output(1, secrets) != ScrapeBeacon.output(2, secrets)
+
+
+def test_corrupt_dealer_disqualified(rng):
+    _, report = run_beacon(8, 1, rng, corrupt_dealers=[3])
+    assert 3 in report.disqualified
+    assert 3 not in report.qualified
+
+
+def test_withholding_minority_cannot_block(rng):
+    out, report = run_beacon(9, 1, rng, withhold=[7, 8])
+    assert isinstance(out, bytes)
+    assert report.withheld_shares > 0
+    assert len(report.reconstructed_secrets) == len(report.qualified)
+
+
+def test_withholding_does_not_change_output():
+    """Unbiasability: once dealings are qualified, whether malicious members
+    reveal cannot change the beacon value."""
+    out_all, _ = run_beacon(9, 5, np.random.default_rng(4))
+    out_withheld, _ = run_beacon(9, 5, np.random.default_rng(4), withhold=[6, 7])
+    assert out_all == out_withheld
+
+
+def test_dishonest_majority_withholding_blocks_liveness(rng):
+    with pytest.raises(RuntimeError):
+        run_beacon(6, 1, rng, withhold=[0, 1, 2, 3])
+
+
+def test_threshold_default_majority(rng):
+    beacon = ScrapeBeacon(10, rng)
+    assert beacon.threshold == 6
+
+
+def test_invalid_sizes(rng):
+    with pytest.raises(ValueError):
+        ScrapeBeacon(0, rng)
+    with pytest.raises(ValueError):
+        ScrapeBeacon(4, rng, threshold=9)

@@ -1,0 +1,71 @@
+"""CRHF wrapper: injectivity of the canonical encoding and basic contract."""
+
+import pytest
+
+from repro.crypto.hashing import H, H_int, canonical_bytes, hexdigest
+
+
+def test_digest_is_32_bytes():
+    assert len(H("x")) == 32
+
+
+def test_deterministic():
+    assert H("a", 1, b"z") == H("a", 1, b"z")
+
+
+def test_different_inputs_different_digests():
+    assert H("a") != H("b")
+    assert H(1) != H(2)
+    assert H(b"") != H("")
+
+
+def test_type_distinction():
+    # "1" (str) vs 1 (int) vs b"1" (bytes) must not collide
+    assert len({H("1"), H(1), H(b"1")}) == 3
+
+
+def test_structure_distinction():
+    # H(a, b) != H(ab): concatenation ambiguity is prevented
+    assert H("ab") != H("a", "b")
+    assert H(("a", "b")) != H(("ab",))
+    assert H(("a", ("b", "c"))) != H((("a", "b"), "c"))
+
+
+def test_bool_is_not_int():
+    assert H(True) != H(1)
+    assert H(False) != H(0)
+
+
+def test_none_and_empty():
+    assert H(None) != H("")
+    assert H(()) != H(None)
+
+
+def test_set_and_dict_order_independence():
+    assert canonical_bytes({1, 2, 3}) == canonical_bytes({3, 1, 2})
+    assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes({"b": 2, "a": 1})
+
+
+def test_list_and_tuple_equivalent():
+    # Both encode as sequences; protocol code uses them interchangeably.
+    assert canonical_bytes([1, 2]) == canonical_bytes((1, 2))
+
+
+def test_h_int_range():
+    value = H_int("x")
+    assert 0 <= value < (1 << 256)
+
+
+def test_hexdigest_matches():
+    assert hexdigest("q") == H("q").hex()
+
+
+def test_unencodable_raises():
+    with pytest.raises(TypeError):
+        canonical_bytes(object())
+
+
+def test_negative_and_large_ints():
+    assert H(-1) != H(1)
+    big = 1 << 300
+    assert H(big) != H(big + 1)

@@ -1,0 +1,61 @@
+"""Simulated VRF: uniqueness, verifiability, pseudorandomness proxies."""
+
+import numpy as np
+
+from repro.crypto.vrf import VRFOutput, vrf_eval, vrf_verify
+
+
+def test_eval_verify_roundtrip(pki, keypair):
+    out = vrf_eval(keypair, ("Q", 1))
+    assert vrf_verify(pki, out, ("Q", 1))
+
+
+def test_wrong_alpha_fails(pki, keypair):
+    out = vrf_eval(keypair, ("Q", 1))
+    assert not vrf_verify(pki, out, ("Q", 2))
+
+
+def test_uniqueness(keypair):
+    assert vrf_eval(keypair, "a") == vrf_eval(keypair, "a")
+
+
+def test_different_keys_different_values(pki, keypair, keypair_b):
+    assert vrf_eval(keypair, "a").value != vrf_eval(keypair_b, "a").value
+
+
+def test_tampered_value_fails(pki, keypair):
+    out = vrf_eval(keypair, "a")
+    forged = VRFOutput(pk=out.pk, value=out.value ^ 1, proof=out.proof)
+    assert not vrf_verify(pki, forged, "a")
+
+
+def test_tampered_proof_fails(pki, keypair):
+    out = vrf_eval(keypair, "a")
+    forged = VRFOutput(pk=out.pk, value=out.value, proof=bytes(32))
+    assert not vrf_verify(pki, forged, "a")
+
+
+def test_stolen_output_fails_for_other_pk(pki, keypair, keypair_b):
+    out = vrf_eval(keypair, "a")
+    stolen = VRFOutput(pk=keypair_b.pk, value=out.value, proof=out.proof)
+    assert not vrf_verify(pki, stolen, "a")
+
+
+def test_unregistered_pk_fails(pki, keypair):
+    out = vrf_eval(keypair, "a")
+    impostor = VRFOutput(pk="unregistered", value=out.value, proof=out.proof)
+    assert not vrf_verify(pki, impostor, "a")
+
+
+def test_values_look_uniform(pki):
+    """Crude pseudorandomness check: committee assignment (value mod m)
+    should be close to uniform over many keys."""
+    m = 8
+    counts = np.zeros(m, dtype=int)
+    for i in range(800):
+        kp = pki.generate(("uniformity", i))
+        counts[vrf_eval(kp, "round-randomness").value % m] += 1
+    expected = 800 / m
+    chi2 = float(np.sum((counts - expected) ** 2 / expected))
+    # 99.9th percentile of chi2 with 7 dof is ~24.3
+    assert chi2 < 24.3

@@ -1,0 +1,136 @@
+"""Shard state and chain."""
+
+import pytest
+
+from repro.ledger.chain import GENESIS_PREV_HASH, Block, Chain
+from repro.ledger.state import ShardState
+from repro.ledger.transaction import TxOutput, make_coinbase, make_transfer, shard_of_address
+
+
+def make_block(round_number: int, prev_hash: bytes, txs=()) -> Block:
+    return Block(
+        round_number=round_number,
+        prev_hash=prev_hash,
+        transactions=tuple(txs),
+        randomness=b"r" * 32,
+        participants=("pk1",),
+        reputations=(("pk1", 0.0),),
+        referee=("pk1",),
+        leaders=("pk2",),
+        partial_sets=(("pk3",),),
+    )
+
+
+# -- ShardState ---------------------------------------------------------------
+
+
+def test_state_filters_genesis_by_shard():
+    m = 4
+    genesis = make_coinbase([TxOutput(f"user-{i}", 10) for i in range(40)])
+    states = [ShardState(k, m) for k in range(m)]
+    for state in states:
+        state.add_genesis(genesis)
+    assert sum(state.size() for state in states) == 40
+    for state in states:
+        for op in state.utxos:
+            owner = state.utxos.get(op).address
+            assert shard_of_address(owner, m) == state.shard
+
+
+def test_state_shard_range():
+    with pytest.raises(ValueError):
+        ShardState(5, 4)
+
+
+def test_apply_block_spends_and_creates():
+    m = 2
+    genesis = make_coinbase([TxOutput(f"user-{i}", 100) for i in range(10)])
+    states = [ShardState(k, m) for k in range(m)]
+    for state in states:
+        state.add_genesis(genesis)
+    # pick a genesis output and build a transfer from it
+    home = shard_of_address("user-0", m)
+    index = [i for i, o in enumerate(genesis.outputs) if o.address == "user-0"][0]
+    tx = make_transfer((genesis.txid, index), 100, "user-1", 25, "user-0")
+    spent, created = states[home].apply_block([tx])
+    assert spent == 1
+    dest = shard_of_address("user-1", m)
+    if dest == home:
+        assert created >= 1
+    total = sum(state.size() for state in states)
+    # other shard also applies
+    other = 1 - home
+    states[other].apply_block([tx])
+    assert sum(state.size() for state in states) >= total
+
+
+def test_validate_against_shard_view():
+    m = 2
+    genesis = make_coinbase([TxOutput(f"user-{i}", 100) for i in range(10)])
+    state0 = ShardState(0, m)
+    state0.add_genesis(genesis)
+    # a tx whose input lives in shard 1 looks like MISSING_INPUT to shard 0
+    owner1 = next(
+        o.address for o in genesis.outputs if shard_of_address(o.address, m) == 1
+    )
+    index = [i for i, o in enumerate(genesis.outputs) if o.address == owner1][0]
+    tx = make_transfer((genesis.txid, index), 100, "user-0", 5, owner1)
+    assert not state0.validate(tx)
+
+
+def test_digest_items_deterministic():
+    genesis = make_coinbase([TxOutput(f"user-{i}", 10) for i in range(6)])
+    a, b = ShardState(0, 1), ShardState(0, 1)
+    a.add_genesis(genesis)
+    b.add_genesis(genesis)
+    assert a.digest_items() == b.digest_items()
+
+
+# -- Chain -------------------------------------------------------------------
+
+
+def test_chain_append_and_verify():
+    chain = Chain()
+    b1 = make_block(1, GENESIS_PREV_HASH)
+    chain.append(b1)
+    b2 = make_block(2, b1.hash)
+    chain.append(b2)
+    assert len(chain) == 2
+    assert chain.verify()
+    assert chain.head is b2
+
+
+def test_chain_rejects_broken_link():
+    chain = Chain()
+    chain.append(make_block(1, GENESIS_PREV_HASH))
+    with pytest.raises(ValueError):
+        chain.append(make_block(2, b"\x01" * 32))
+
+
+def test_chain_rejects_nonmonotonic_rounds():
+    chain = Chain()
+    b1 = make_block(5, GENESIS_PREV_HASH)
+    chain.append(b1)
+    with pytest.raises(ValueError):
+        chain.append(make_block(5, b1.hash))
+
+
+def test_empty_chain_head_raises():
+    with pytest.raises(IndexError):
+        Chain().head
+
+
+def test_block_hash_covers_contents():
+    a = make_block(1, GENESIS_PREV_HASH)
+    b = Block(
+        round_number=1,
+        prev_hash=GENESIS_PREV_HASH,
+        transactions=(),
+        randomness=b"s" * 32,  # differs
+        participants=("pk1",),
+        reputations=(("pk1", 0.0),),
+        referee=("pk1",),
+        leaders=("pk2",),
+        partial_sets=(("pk3",),),
+    )
+    assert a.hash != b.hash

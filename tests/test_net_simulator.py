@@ -1,0 +1,187 @@
+"""Network simulator: delivery, latency classes, timers, strict channels."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.pki import PKI
+from repro.net import (
+    Network,
+    NetworkParams,
+    ProtocolNode,
+    SimulationError,
+)
+from repro.net.params import ChannelClass
+
+
+class Recorder(ProtocolNode):
+    def __init__(self, nid, kp):
+        super().__init__(nid, kp)
+        self.received = []
+        self.on("MSG", lambda msg: self.received.append(msg))
+
+
+@pytest.fixture
+def net_and_nodes(rng):
+    pki = PKI()
+    net = Network(NetworkParams(), rng)
+    nodes = [Recorder(i, pki.generate(i)) for i in range(4)]
+    for node in nodes:
+        net.add_node(node)
+    net.set_channel_classifier(lambda s, d: ChannelClass.INTRA)
+    return net, nodes
+
+
+def test_send_and_deliver(net_and_nodes):
+    net, nodes = net_and_nodes
+    nodes[0].send(1, "MSG", "hello")
+    net.run()
+    assert len(nodes[1].received) == 1
+    assert nodes[1].received[0].payload == "hello"
+    assert nodes[1].received[0].sender == 0
+
+
+def test_intra_delay_within_delta(net_and_nodes):
+    net, nodes = net_and_nodes
+    nodes[0].send(1, "MSG", "x")
+    t = net.run()
+    assert 0 < t <= net.params.delta
+
+
+def test_multicast_excludes_self(net_and_nodes):
+    net, nodes = net_and_nodes
+    nodes[0].multicast(range(4), "MSG", "b")
+    net.run()
+    assert len(nodes[0].received) == 0
+    assert all(len(nodes[i].received) == 1 for i in (1, 2, 3))
+
+
+def test_unknown_tag_ignored(net_and_nodes):
+    net, nodes = net_and_nodes
+    nodes[0].send(1, "NOPE", "x")
+    net.run()  # must not raise
+    assert nodes[1].received == []
+
+
+def test_strict_channel_raises(rng):
+    pki = PKI()
+    net = Network(NetworkParams(), rng)
+    nodes = [Recorder(i, pki.generate(100 + i)) for i in range(2)]
+    for node in nodes:
+        net.add_node(node)
+    net.set_channel_classifier(lambda s, d: None)
+    with pytest.raises(SimulationError):
+        nodes[0].send(1, "MSG", "x")
+
+
+def test_non_strict_falls_back_to_partial(rng):
+    pki = PKI()
+    net = Network(NetworkParams(), rng, strict_channels=False)
+    nodes = [Recorder(i, pki.generate(200 + i)) for i in range(2)]
+    for node in nodes:
+        net.add_node(node)
+    net.set_channel_classifier(lambda s, d: None)
+    nodes[0].send(1, "MSG", "x")
+    net.run()
+    assert nodes[1].received[0].channel == ChannelClass.PARTIAL
+
+
+def test_unknown_recipient_raises(net_and_nodes):
+    net, nodes = net_and_nodes
+    with pytest.raises(SimulationError):
+        nodes[0].send(99, "MSG", "x")
+
+
+def test_duplicate_node_raises(net_and_nodes, rng):
+    net, nodes = net_and_nodes
+    with pytest.raises(ValueError):
+        net.add_node(Recorder(0, PKI().generate("dup")))
+
+
+def test_timers_fire_in_order(net_and_nodes):
+    net, _ = net_and_nodes
+    fired = []
+    net.call_after(5.0, lambda: fired.append("b"))
+    net.call_after(1.0, lambda: fired.append("a"))
+    net.run()
+    assert fired == ["a", "b"]
+    assert net.now == 5.0
+
+
+def test_timer_in_past_raises(net_and_nodes):
+    net, _ = net_and_nodes
+    net.call_after(1.0, lambda: None)
+    net.run()
+    with pytest.raises(SimulationError):
+        net.call_at(0.5, lambda: None)
+
+
+def test_run_until(net_and_nodes):
+    net, nodes = net_and_nodes
+    net.call_after(10.0, lambda: nodes[0].send(1, "MSG", "late"))
+    net.run(until=5.0)
+    assert net.now == 5.0
+    assert net.pending == 1
+    net.run()
+    assert len(nodes[1].received) == 1
+
+
+def test_offline_node_sends_and_hears_nothing(net_and_nodes):
+    net, nodes = net_and_nodes
+    nodes[1].online = False
+    nodes[0].send(1, "MSG", "x")
+    nodes[1].send(0, "MSG", "y")
+    net.run()
+    assert nodes[1].received == []
+    assert nodes[0].received == []
+
+
+def test_metrics_count_messages(net_and_nodes):
+    net, nodes = net_and_nodes
+    nodes[0].send(1, "MSG", "payload")
+    nodes[0].send(2, "MSG", "payload")
+    net.run()
+    assert net.metrics.total_messages() == 2
+    assert net.metrics.total_bytes() > 0
+
+
+def test_event_budget_guard(rng):
+    pki = PKI()
+    params = NetworkParams(max_events=50)
+    net = Network(params, rng)
+
+    class Looper(ProtocolNode):
+        def __init__(self, nid, kp):
+            super().__init__(nid, kp)
+            self.on("PING", lambda m: self.send(m.sender, "PING", None))
+
+    a, b = Looper(0, pki.generate("a")), Looper(1, pki.generate("b"))
+    net.add_node(a)
+    net.add_node(b)
+    net.set_channel_classifier(lambda s, d: ChannelClass.INTRA)
+    a.send(1, "PING", None)
+    with pytest.raises(SimulationError):
+        net.run()
+
+
+def test_adversarial_scheduler_stretches_partial_only(rng):
+    pki = PKI()
+    params = NetworkParams(jitter=0.0)
+    net = Network(params, rng)
+    nodes = [Recorder(i, pki.generate(300 + i)) for i in range(2)]
+    for node in nodes:
+        net.add_node(node)
+    net.set_channel_classifier(lambda s, d: ChannelClass.PARTIAL)
+    net.adversarial_scheduler = lambda msg: 100.0  # clamped to max stretch
+    nodes[0].send(1, "MSG", "x")
+    t = net.run()
+    assert t == pytest.approx(params.partial_base * params.partial_max_stretch)
+
+
+def test_drop_filter(net_and_nodes):
+    net, nodes = net_and_nodes
+    net.drop_filter = lambda msg: msg.payload == "drop"
+    nodes[0].send(1, "MSG", "drop")
+    nodes[0].send(1, "MSG", "keep")
+    net.run()
+    assert [m.payload for m in nodes[1].received] == ["keep"]
+    assert net.dropped_messages == 1

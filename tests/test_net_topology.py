@@ -1,0 +1,116 @@
+"""Topology: channel classes and the connection-burden census."""
+
+import pytest
+
+from repro.net.params import ChannelClass, NetworkParams
+from repro.net.topology import (
+    build_cycledger_topology,
+    cycledger_channel_count,
+    full_clique_channels,
+)
+
+
+@pytest.fixture
+def channels():
+    # Two committees {0..4} keys {0,1} and {5..9} keys {5,6}; referee {10,11}.
+    return build_cycledger_topology(
+        [({0, 1, 2, 3, 4}, {0, 1}), ({5, 6, 7, 8, 9}, {5, 6})],
+        [10, 11],
+    )
+
+
+def test_intra_committee(channels):
+    assert channels.classify(2, 3) == ChannelClass.INTRA
+    assert channels.classify(0, 4) == ChannelClass.INTRA
+
+
+def test_referee_internal_is_intra(channels):
+    assert channels.classify(10, 11) == ChannelClass.INTRA
+
+
+def test_key_to_key_cross_committee(channels):
+    assert channels.classify(0, 5) == ChannelClass.KEY
+    assert channels.classify(1, 6) == ChannelClass.KEY
+
+
+def test_key_to_referee(channels):
+    assert channels.classify(0, 10) == ChannelClass.REFEREE
+    assert channels.classify(11, 6) == ChannelClass.REFEREE
+
+
+def test_common_to_referee_partial(channels):
+    # PoW submission / block propagation: partially synchronous only.
+    assert channels.classify(3, 10) == ChannelClass.PARTIAL
+    assert channels.classify(10, 3) == ChannelClass.PARTIAL
+
+
+def test_common_cross_committee_no_channel(channels):
+    assert channels.classify(2, 7) is None
+    assert channels.classify(7, 2) is None
+
+
+def test_common_to_foreign_key_no_channel(channels):
+    # Common members do not hold links to other committees' key members.
+    assert channels.classify(2, 5) is None
+
+
+def test_self_is_local(channels):
+    assert channels.classify(3, 3) == ChannelClass.LOCAL
+
+
+def test_channel_counts(channels):
+    # intra: 2 committees of 5 -> 2*10, referee pair -> 1
+    assert channels.counts[ChannelClass.INTRA] == 21
+    # key clique: 4 keys -> 6 pairs, minus 2 same-committee pairs
+    assert channels.counts[ChannelClass.KEY] == 4
+    # key-to-referee: 4 keys x 2 referees
+    assert channels.counts[ChannelClass.REFEREE] == 8
+    assert channels.total_reliable() == 33
+
+
+def test_overlapping_committees_rejected():
+    with pytest.raises(ValueError):
+        build_cycledger_topology([({0, 1}, {0}), ({1, 2}, {1})], [])
+
+
+def test_referee_member_overlap_rejected():
+    with pytest.raises(ValueError):
+        build_cycledger_topology([({0, 1}, {0})], [1])
+
+
+def test_key_must_be_member():
+    with pytest.raises(ValueError):
+        build_cycledger_topology([({0, 1}, {5})], [])
+
+
+def test_closed_form_matches_constructed():
+    n, m, lam, cr = 60, 3, 2, 6
+    c = n // m
+    committees = []
+    nid = 0
+    for k in range(m):
+        members = set(range(nid, nid + c))
+        keys = set(range(nid, nid + lam + 1))
+        committees.append((members, keys))
+        nid += c
+    referee = list(range(nid, nid + cr))
+    built = build_cycledger_topology(committees, referee)
+    assert built.total_reliable() == cycledger_channel_count(n, m, lam, cr)
+
+
+def test_light_vs_heavy_burden():
+    """Table I's punchline: CycLedger needs far fewer reliable channels."""
+    n, m, lam, cr = 2000, 10, 40, 200
+    assert cycledger_channel_count(n, m, lam, cr) < full_clique_channels(n + cr) / 5
+
+
+def test_network_params_validation():
+    with pytest.raises(ValueError):
+        NetworkParams(delta=0)
+    with pytest.raises(ValueError):
+        NetworkParams(jitter=1.5)
+    with pytest.raises(ValueError):
+        NetworkParams(partial_max_stretch=0.5)
+    params = NetworkParams()
+    with pytest.raises(ValueError):
+        params.base_delay("bogus")
