@@ -3,11 +3,10 @@
 Two complementary measurements:
 
 1. **Full simulation**: CycLedger rounds with a sweep of corrupted-node
-   fractions whose leaders equivocate; throughput stays up because every
+   fractions whose leaders equivocate, driven by the parallel experiment
+   engine (fraction × seed grid); throughput stays up because every
    faulty leader is impeached within its round (the paper's recovery
-   procedure).  The ablation arm disables recovery (empty partial sets
-   cannot impeach... modelled by making partial members malicious too) to
-   show the stall.
+   procedure).
 2. **Analytical model comparison** against RapidChain-style protocols that
    stall whenever a leader misbehaves (§II-A: "cross-shard transactions may
    hardly be included in a block").
@@ -17,34 +16,51 @@ import numpy as np
 import pytest
 
 from conftest import print_table
-from repro import AdversaryConfig, CycLedger, ProtocolParams
 from repro.baselines import CycLedgerModel, RapidChainModel, simulate_leader_stalls
+from repro.exp import ExperimentSpec, run_sweep
+
+FRACTIONS = (0.0, 0.15, 0.3)
+
+SPEC = ExperimentSpec(
+    name="dishonest-leaders",
+    rounds=2,
+    seeds=(1, 2, 3),
+    derive_seeds=False,
+    base={
+        "n": 48,
+        "m": 3,
+        "lam": 2,
+        "referee_size": 6,
+        "users_per_shard": 24,
+        "tx_per_committee": 8,
+        "cross_shard_ratio": 0.25,
+    },
+    adversary={
+        "leader_strategy": "equivocating_leader",
+        "voter_strategy": "honest",  # isolate the leader effect
+    },
+    adversary_grid={"fraction": FRACTIONS},
+)
 
 
-def run_fullsim(fraction: float, seeds=(1, 2, 3)) -> tuple[float, int]:
-    """Mean packed-per-round and total recoveries across seeds."""
-    packed, recoveries = [], 0
-    for seed in seeds:
-        params = ProtocolParams(
-            n=48, m=3, lam=2, referee_size=6, seed=seed,
-            users_per_shard=24, tx_per_committee=8, cross_shard_ratio=0.25,
+def sweep() -> dict[float, tuple[float, int]]:
+    """fraction -> (mean packed-per-round across seeds, total recoveries)."""
+    outcome = run_sweep(SPEC)
+    results = {}
+    for fraction in FRACTIONS:
+        per_round = [
+            row["packed"]
+            for result in outcome.find(fraction=fraction)
+            for row in result.per_round
+        ]
+        recoveries = sum(
+            result.totals["recoveries"] for result in outcome.find(fraction=fraction)
         )
-        adv = AdversaryConfig(
-            fraction=fraction,
-            leader_strategy="equivocating_leader",
-            voter_strategy="honest",  # isolate the leader effect
-        )
-        ledger = CycLedger(params, adversary=adv)
-        reports = ledger.run(2)
-        packed.extend(r.packed for r in reports)
-        recoveries += sum(r.recoveries for r in reports)
-    return float(np.mean(packed)), recoveries
+        results[fraction] = (float(np.mean(per_round)), recoveries)
+    return results
 
 
 def test_dishonest_leaders_fullsim(benchmark):
-    def sweep():
-        return {f: run_fullsim(f) for f in (0.0, 0.15, 0.3)}
-
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     baseline = results[0.0][0]
     rows = [

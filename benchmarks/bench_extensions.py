@@ -2,46 +2,53 @@
 
 * §VIII-A pre-filtering: under an invalid-heavy (DoS-like) cross-shard
   workload, leaders exchanging a preference first saves committee-wide vote
-  rounds over obviously-invalid transactions.
+  rounds over obviously-invalid transactions.  The on/off arms run as one
+  engine sweep over the ``prefilter_cross_shard`` axis.
 * §VIII-B parallel block generation: partition packed transactions into
   pairwise-irrelevant sub-blocks and measure the achievable parallelism.
 """
 
 import numpy as np
-import pytest
 
 from conftest import print_table
-from repro import CycLedger, ProtocolParams
 from repro.core.blockgen import parallel_subblocks
+from repro.exp import ExperimentSpec, run_sweep
 from repro.ledger.workload import WorkloadGenerator
 
+PREFILTER_SPEC = ExperimentSpec(
+    name="prefilter-ablation",
+    rounds=2,
+    seeds=(7,),
+    derive_seeds=False,
+    base={
+        "n": 48,
+        "m": 3,
+        "lam": 2,
+        "referee_size": 6,
+        "users_per_shard": 32,
+        "tx_per_committee": 10,
+        "cross_shard_ratio": 0.6,
+        "invalid_ratio": 0.5,  # DoS-like flood
+    },
+    grid={"prefilter_cross_shard": (False, True)},
+)
 
-def run_with(prefilter: bool, seed: int = 7):
-    params = ProtocolParams(
-        n=48, m=3, lam=2, referee_size=6, seed=seed,
-        users_per_shard=32, tx_per_committee=10,
-        cross_shard_ratio=0.6, invalid_ratio=0.5,  # DoS-like flood
-        prefilter_cross_shard=prefilter,
-    )
-    ledger = CycLedger(params)
-    reports = ledger.run(2)
-    voted = sum(
-        len(r.txs)
-        for report in reports
-        for r in report.inter.send_rounds.values()
-    )
-    accepted = sum(
-        len(v) for report in reports for v in report.inter.accepted.values()
-    )
-    savings = sum(r.inter.prefilter_savings for r in reports)
-    return voted, accepted, savings
+
+def run_ablation():
+    outcome = run_sweep(PREFILTER_SPEC, workers=2)
+    arms = {}
+    for mode, prefilter in (("off", False), ("on", True)):
+        result = outcome.one(prefilter_cross_shard=prefilter)
+        arms[mode] = (
+            result.totals["inter_voted"],
+            result.totals["inter_accepted"],
+            result.totals["prefilter_savings"],
+        )
+    return arms
 
 
 def test_prefilter_ablation(benchmark):
-    def sweep():
-        return {"off": run_with(False), "on": run_with(True)}
-
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
     rows = [
         (mode, voted, accepted, savings)
         for mode, (voted, accepted, savings) in results.items()
@@ -91,16 +98,25 @@ def test_parallel_block_width(benchmark):
 
 def test_parallel_block_in_protocol(benchmark):
     def run():
-        params = ProtocolParams(
-            n=48, m=3, lam=2, referee_size=6, seed=9,
-            users_per_shard=32, tx_per_committee=10,
-            parallel_block_generation=True,
+        spec = ExperimentSpec(
+            name="parallel-blockgen",
+            rounds=1,
+            seeds=(9,),
+            derive_seeds=False,
+            base={
+                "n": 48,
+                "m": 3,
+                "lam": 2,
+                "referee_size": 6,
+                "users_per_shard": 32,
+                "tx_per_committee": 10,
+                "parallel_block_generation": True,
+            },
         )
-        ledger = CycLedger(params)
-        return ledger.run_round()
+        return run_sweep(spec).results[0].per_round[0]
 
-    report = benchmark.pedantic(run, rounds=1, iterations=1)
-    print(f"\nparallel blockgen: {report.blockgen.parallel_subblocks} sub-blocks, "
-          f"width {report.blockgen.parallel_width} of {report.packed} packed")
-    assert report.blockgen.parallel_subblocks >= 1
-    assert report.blockgen.parallel_width <= report.packed
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nparallel blockgen: {row['blockgen_subblocks']} sub-blocks, "
+          f"width {row['blockgen_width']} of {row['packed']} packed")
+    assert row["blockgen_subblocks"] >= 1
+    assert row["blockgen_width"] <= row["packed"]

@@ -7,37 +7,51 @@ counts, and the channel classes connecting them.
 Fig. 2 is regenerated as the end-to-end life of a workload batch: submitted
 → sharded → intra/inter consensus → referee verification → block, with the
 simulated-time phase boundaries.
+
+Both figures read off one experiment-engine record of a two-round run
+(n=64, m=4, λ=3, |C_R|=8) — the node summary carries the role census, the
+per-round rows carry the phase totals and timings.
 """
 
-import numpy as np
-import pytest
-
 from conftest import print_table
-from repro import CycLedger, ProtocolParams
+from repro.exp import ExperimentSpec, run_sweep
+
+SPEC = ExperimentSpec(
+    name="fig1-fig2-structure",
+    rounds=2,
+    seeds=(42,),
+    derive_seeds=False,
+    base={
+        "n": 64,
+        "m": 4,
+        "lam": 3,
+        "referee_size": 8,
+        "users_per_shard": 24,
+        "tx_per_committee": 8,
+        "cross_shard_ratio": 0.3,
+    },
+)
 
 
 def build_round():
-    params = ProtocolParams(
-        n=64, m=4, lam=3, referee_size=8, seed=42,
-        users_per_shard=24, tx_per_committee=8, cross_shard_ratio=0.3,
-    )
-    ledger = CycLedger(params)
-    report = ledger.run_round()
-    return ledger, report
+    return run_sweep(SPEC).results[0]
 
 
 def test_fig1_hierarchy(benchmark):
-    ledger, report = benchmark.pedantic(build_round, rounds=1, iterations=1)
-    params = ledger.params
-    rows = [("referee committee", params.referee_size, "-", "-", "-")]
-    # role counts from the node flags (still set from the last round)
-    key = sum(1 for node in ledger.nodes.values() if node.is_key_member)
+    result = benchmark.pedantic(build_round, rounds=1, iterations=1)
+    params = result.point["params"]
+    n, m, lam, referee_size = (
+        params["n"], params["m"], params["lam"], params["referee_size"],
+    )
+    rows = [("referee committee", referee_size, "-", "-", "-")]
+    # role counts from the node summary (roles as of the last round)
+    key = sum(1 for node in result.nodes if node["key_member"])
     common = sum(
         1
-        for node in ledger.nodes.values()
-        if not node.is_key_member and not node.is_referee
+        for node in result.nodes
+        if not node["key_member"] and not node["referee"]
     )
-    rows.append(("committees", params.m, "1 leader each", f"{params.lam} partial each", ""))
+    rows.append(("committees", m, "1 leader each", f"{lam} partial each", ""))
     rows.append(("key members", key, "-", "-", "-"))
     rows.append(("common members", common, "-", "-", "-"))
     print_table(
@@ -45,35 +59,34 @@ def test_fig1_hierarchy(benchmark):
         ["stratum", "count", "", "", ""],
         rows,
     )
-    assert key == params.m * (1 + params.lam)
-    assert common == params.n - params.referee_size - key
-    assert report.reliable_channels > 0
+    assert key == m * (1 + lam)
+    assert common == n - referee_size - key
+    assert result.totals["reliable_channels"] > 0
     # the structure regenerates every round with fresh randomness
-    report2 = ledger.run_round()
-    assert report2.block is not None
+    assert result.per_round[1]["block"] is not None
 
 
 def test_fig2_transaction_flow(benchmark):
-    ledger, report = benchmark.pedantic(build_round, rounds=1, iterations=1)
+    result = benchmark.pedantic(build_round, rounds=1, iterations=1)
+    first = result.per_round[0]
     rows = [
-        ("1. submitted by users", report.submitted, "-"),
-        ("2. sharded to committees", report.submitted, f"{ledger.params.m} shards"),
-        ("3a. intra-committee consensus",
-         sum(len(v) for v in report.intra.accepted_by_cr.values()),
-         f"{report.intra.elapsed:.1f} sim-t"),
-        ("3b. inter-committee consensus",
-         sum(len(v) for v in report.inter.accepted.values()),
-         f"{report.inter.elapsed:.1f} sim-t"),
-        ("4. packed into block B^r", report.packed,
-         f"{report.blockgen.elapsed:.1f} sim-t"),
+        ("1. submitted by users", first["submitted"], "-"),
+        ("2. sharded to committees", first["submitted"],
+         f"{result.point['params']['m']} shards"),
+        ("3a. intra-committee consensus", first["intra_accepted"],
+         f"{first['intra_elapsed']:.1f} sim-t"),
+        ("3b. inter-committee consensus", first["inter_accepted"],
+         f"{first['inter_elapsed']:.1f} sim-t"),
+        ("4. packed into block B^r", first["packed"],
+         f"{first['blockgen_elapsed']:.1f} sim-t"),
     ]
     print_table(
         "Fig. 2: transaction flow through one round",
         ["stage", "transactions", "phase time"],
         rows,
     )
-    assert report.packed > 0
-    assert report.cross_packed > 0
-    assert report.packed <= report.submitted
+    assert first["packed"] > 0
+    assert first["cross_packed"] > 0
+    assert first["packed"] <= first["submitted"]
     # every phase consumed simulated time and the round terminated
-    assert report.sim_time > 0
+    assert first["sim_time"] > 0

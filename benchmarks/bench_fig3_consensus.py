@@ -5,8 +5,6 @@ one PROPOSE fan-out from the leader, an all-to-all ECHO step, and a CONFIRM
 fan-in — and the resulting O(c²) scaling of total messages.
 """
 
-import numpy as np
-import pytest
 
 from conftest import print_table
 from repro.core.consensus import InsideConsensus

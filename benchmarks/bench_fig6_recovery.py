@@ -6,7 +6,6 @@ escalation to C_R, the inside-consensus there, and the NEW-leader
 announcement — against an equivocating leader caught in Algorithm 3.
 """
 
-import pytest
 
 from conftest import print_table
 from repro.core.consensus import InsideConsensus

@@ -5,39 +5,43 @@
 * Leader punishment ablation (cube root).
 * Reputation-based vs random leader selection (the paper's throughput
   argument for picking high-reputation leaders).
+
+The full-simulation measurements run through the parallel experiment
+engine with named capacity presets (``tiered`` / ``weak_heavy``), so the
+same sweep records drive the table output and the assertions.
 """
 
 import numpy as np
 import pytest
 
 from conftest import print_table
-from repro import AdversaryConfig, CycLedger, ProtocolParams
 from repro.analysis.incentive import expected_score, leader_punishment, reward_shares
+from repro.exp import ExperimentSpec, run_sweep
 
-
-def heterogeneous_capacity(node_id: int, rng: np.random.Generator) -> int:
-    """Capacity tiers: a strong majority (as the paper assumes — otherwise
-    the committee's own decision vector degrades and the cosine score no
-    longer isolates individual capacity), plus mid and weak minorities."""
-    tier = node_id % 10
-    if tier < 6:
-        return 10_000  # strong: judges everything
-    if tier < 8:
-        return 5  # mid
-    return 2  # weak
+BASE = {
+    "n": 48,
+    "m": 3,
+    "lam": 2,
+    "referee_size": 6,
+    "users_per_shard": 24,
+    "tx_per_committee": 8,
+}
 
 
 def test_reputation_tracks_capacity(benchmark):
     def run():
-        params = ProtocolParams(
-            n=48, m=3, lam=2, referee_size=6, seed=4,
-            users_per_shard=24, tx_per_committee=8,
+        spec = ExperimentSpec(
+            name="incentive-capacity",
+            rounds=3,
+            seeds=(4,),
+            derive_seeds=False,
+            base=BASE,
+            capacity_preset="tiered",
         )
-        ledger = CycLedger(params, capacity_fn=heterogeneous_capacity)
-        ledger.run(3)
+        result = run_sweep(spec).results[0]
         by_tier: dict[int, list[float]] = {2: [], 5: [], 10_000: []}
-        for node in ledger.nodes.values():
-            by_tier[node.capacity].append(ledger.reputation[node.pk])
+        for node in result.nodes:
+            by_tier[node["capacity"]].append(node["reputation"])
         return {cap: float(np.mean(reps)) for cap, reps in by_tier.items()}
 
     means = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -52,17 +56,19 @@ def test_reputation_tracks_capacity(benchmark):
 
 def test_reward_ordering(benchmark):
     def run():
-        params = ProtocolParams(
-            n=48, m=3, lam=2, referee_size=6, seed=5,
-            users_per_shard=24, tx_per_committee=8,
+        spec = ExperimentSpec(
+            name="incentive-rewards",
+            rounds=3,
+            seeds=(5,),
+            derive_seeds=False,
+            base=BASE,
+            adversary={"fraction": 0.2, "voter_strategy": "contrary_voter"},
         )
-        adv = AdversaryConfig(fraction=0.2, voter_strategy="contrary_voter")
-        ledger = CycLedger(params, adversary=adv)
-        ledger.run(3)
+        result = run_sweep(spec).results[0]
         honest, malicious = [], []
-        for node in ledger.nodes.values():
-            bucket = malicious if ledger.adversary.is_corrupted(node.node_id) else honest
-            bucket.append(ledger.rewards.get(node.pk, 0.0))
+        for node in result.nodes:
+            bucket = malicious if node["corrupted"] else honest
+            bucket.append(node["reward"])
         return float(np.mean(honest)), float(np.mean(malicious))
 
     honest_mean, malicious_mean = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -95,25 +101,24 @@ def test_reputation_vs_random_leader_selection(benchmark):
     """Leaders with higher capacity pack more: selecting by reputation beats
     selecting at random once capacities are heterogeneous."""
 
-    def weak_heavy(node_id: int, rng: np.random.Generator) -> int:
-        # Leaders drawn uniformly often land on weak nodes whose capacity
-        # caps the TXList they can assemble (§VII-A).
-        return 10_000 if node_id % 10 < 6 else 3
-
     def run():
         # Round 1 selects leaders uniformly (no reputation history yet);
         # later rounds select by accumulated reputation, which concentrates
-        # on high-capacity nodes.  Average packed/round in each regime.
+        # on high-capacity nodes.  Average packed/round in each regime,
+        # across a seed axis fanned out over worker processes.
+        spec = ExperimentSpec(
+            name="incentive-leader-selection",
+            rounds=4,
+            seeds=(6, 7, 8),
+            derive_seeds=False,
+            base={**BASE, "users_per_shard": 64},
+            capacity_preset="weak_heavy",
+        )
+        outcome = run_sweep(spec, workers=3)
         early_packed, late_packed = [], []
-        for seed in (6, 7, 8):
-            params = ProtocolParams(
-                n=48, m=3, lam=2, referee_size=6, seed=seed,
-                users_per_shard=64, tx_per_committee=8,
-            )
-            ledger = CycLedger(params, capacity_fn=weak_heavy)
-            reports = ledger.run(4)
-            early_packed.append(reports[0].packed)
-            late_packed.extend(r.packed for r in reports[2:])
+        for result in outcome.results:
+            early_packed.append(result.per_round[0]["packed"])
+            late_packed.extend(row["packed"] for row in result.per_round[2:])
         return float(np.mean(early_packed)), float(np.mean(late_packed))
 
     early, late = benchmark.pedantic(run, rounds=1, iterations=1)

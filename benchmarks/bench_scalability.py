@@ -1,30 +1,39 @@
 """§III-D scalability — |TX| grows quasi-linearly with n.
 
 Runs the full protocol at several network sizes (m scaled with n, committee
-size fixed) and fits the throughput exponent.
+size fixed) through the parallel experiment engine and fits the throughput
+exponent.
 """
 
-import numpy as np
-import pytest
-
 from conftest import print_table
-from repro import CycLedger, ProtocolParams
+from repro.exp import ExperimentSpec, run_sweep
 from repro.metrics.fitting import r_squared_loglog, scaling_exponent
+
+SPEC = ExperimentSpec(
+    name="scalability",
+    rounds=2,
+    seeds=(3,),
+    derive_seeds=False,
+    base={
+        "lam": 2,
+        "referee_size": 8,
+        "users_per_shard": 48,
+        "tx_per_committee": 8,
+        "cross_shard_ratio": 0.2,
+    },
+    # paired (n, m) axis: committee size c = 14 held fixed
+    points=({"n": 36, "m": 2}, {"n": 64, "m": 4}, {"n": 120, "m": 8}),
+)
 
 
 def sweep():
-    configs = [(36, 2), (64, 4), (120, 8)]  # (n, m), c = 14 fixed
+    outcome = run_sweep(SPEC, workers=3)
     ns, packed, msgs = [], [], []
-    for n, m in configs:
-        params = ProtocolParams(
-            n=n, m=m, lam=2, referee_size=8, seed=3,
-            users_per_shard=48, tx_per_committee=8, cross_shard_ratio=0.2,
-        )
-        ledger = CycLedger(params)
-        reports = ledger.run(2)
+    for n, m in ((36, 2), (64, 4), (120, 8)):
+        result = outcome.one(n=n, m=m)
         ns.append(n)
-        packed.append(sum(r.packed for r in reports))
-        msgs.append(sum(r.messages for r in reports))
+        packed.append(result.totals["packed"])
+        msgs.append(result.totals["messages"])
     return ns, packed, msgs
 
 

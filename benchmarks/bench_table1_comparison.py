@@ -8,7 +8,6 @@ partial-set term.
 """
 
 import numpy as np
-import pytest
 
 from conftest import print_table
 from repro.analysis.security import partial_set_failure, union_bound

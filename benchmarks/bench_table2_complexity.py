@@ -1,8 +1,9 @@
 """Table II — measured per-phase, per-role complexity scaling.
 
-Runs full protocol rounds at several network sizes, collects the
-phase/role-tagged message counters, fits power-law exponents, and compares
-them with Table II's claimed classes.
+Runs full protocol rounds at several network sizes through the parallel
+experiment engine, collects the phase/role-tagged message counters from
+the sweep records, fits power-law exponents, and compares them with
+Table II's claimed classes.
 
 Two sweeps isolate the two variables:
 * **c-sweep** (m fixed, committee size growing): validates the O(c)/O(c²)
@@ -11,46 +12,62 @@ Two sweeps isolate the two variables:
   traffic in semi-commitment exchange.
 """
 
-import numpy as np
-import pytest
-
 from conftest import print_table
-from repro import CycLedger, ProtocolParams
+from repro.core.config import ProtocolParams
+from repro.exp import ExperimentSpec, run_sweep
 from repro.metrics.counters import Roles
 from repro.metrics.fitting import scaling_exponent
 
+BASE = {
+    "users_per_shard": 24,
+    "tx_per_committee": 6,
+    "cross_shard_ratio": 0.25,
+    "lam": 2,
+}
 
-def run_once(n: int, m: int, lam: int = 2, referee: int = 8, seed: int = 1):
-    params = ProtocolParams(
-        n=n, m=m, lam=lam, referee_size=referee, seed=seed,
-        users_per_shard=24, tx_per_committee=6, cross_shard_ratio=0.25,
+
+def _spec(name: str, points: tuple[dict, ...]) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=name,
+        rounds=1,
+        seeds=(1,),
+        derive_seeds=False,
+        base=BASE,
+        points=points,
     )
-    ledger = CycLedger(params)
-    ledger.run_round()
-    metrics = ledger.metrics
-    counts = {}
-    c = params.committee_size
+
+
+def _normalized_counts(result) -> dict:
+    """Per-node message/byte counts per (phase, role) cell."""
+    point_params = result.point["params"]
+    params = ProtocolParams(**point_params, seed=1)
+    c, m, lam = params.committee_size, params.m, params.lam
     role_counts = {
         Roles.COMMON: m * (c - 1 - lam),
         Roles.KEY: m * (1 + lam),
-        Roles.REFEREE: referee,
+        Roles.REFEREE: params.referee_size,
     }
-    for (phase, role), cell in metrics.cells.items():
+    counts = {}
+    for cell_key, cell in result.cells.items():
+        phase, role = cell_key.split("/", 1)
         denom = max(role_counts.get(role, 1), 1)
         counts[(phase, role)] = {
-            "messages": cell.messages / denom,
-            "bytes": cell.bytes / denom,
+            "messages": cell["messages"] / denom,
+            "bytes": cell["bytes"] / denom,
         }
     return counts
 
 
 def c_sweep():
     """m=2 fixed; c grows 14 -> 56."""
+    configs = ({"n": 36, "m": 2, "referee_size": 8},
+               {"n": 64, "m": 2, "referee_size": 8},
+               {"n": 120, "m": 2, "referee_size": 8})
+    outcome = run_sweep(_spec("table2-c-sweep", configs), workers=3)
     ns, results = [], []
-    for n in (36, 64, 120):
-        counts = run_once(n, m=2)
-        ns.append(n)
-        results.append(counts)
+    for config in configs:
+        ns.append(config["n"])
+        results.append(_normalized_counts(outcome.one(n=config["n"])))
     return ns, results
 
 
@@ -60,11 +77,14 @@ def m_sweep():
     A small referee committee (4) keeps the constant C_R-internal consensus
     traffic from diluting the O(m²) redistribution term at bench scale.
     """
+    configs = tuple(
+        {"n": 4 + 14 * m, "m": m, "referee_size": 4} for m in (2, 6, 12)
+    )
+    outcome = run_sweep(_spec("table2-m-sweep", configs), workers=3)
     ms, results = [], []
-    for m in (2, 6, 12):
-        counts = run_once(4 + 14 * m, m=m, referee=4)
-        ms.append(m)
-        results.append(counts)
+    for config in configs:
+        ms.append(config["m"])
+        results.append(_normalized_counts(outcome.one(m=config["m"])))
     return ms, results
 
 
@@ -132,20 +152,25 @@ def test_storage_rows(benchmark):
     """Storage high-water marks per role at one configuration."""
 
     def measure():
-        params = ProtocolParams(
-            n=64, m=4, lam=2, referee_size=8, seed=2,
-            users_per_shard=24, tx_per_committee=6,
+        spec = ExperimentSpec(
+            name="table2-storage",
+            rounds=1,
+            seeds=(2,),
+            derive_seeds=False,
+            base={**BASE, "n": 64, "m": 4, "referee_size": 8},
         )
-        ledger = CycLedger(params)
-        ledger.run_round()
-        return ledger.metrics
+        return run_sweep(spec).results[0]
 
-    metrics = benchmark.pedantic(measure, rounds=1, iterations=1)
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
     rows = [
-        (phase, role, cell.storage)
-        for (phase, role), cell in sorted(metrics.cells.items())
-        if cell.storage > 0
+        (*cell_key.split("/", 1), cell["storage"])
+        for cell_key, cell in sorted(result.cells.items())
+        if cell["storage"] > 0
     ]
     print_table("storage high-water marks (items)", ["phase", "role", "items"], rows)
-    assert metrics.storage_in("config", Roles.COMMON) >= 14 - 2
-    assert metrics.storage_in("block", Roles.REFEREE) > 0
+    storage = {
+        tuple(cell_key.split("/", 1)): cell["storage"]
+        for cell_key, cell in result.cells.items()
+    }
+    assert storage[("config", Roles.COMMON)] >= 14 - 2
+    assert storage[("block", Roles.REFEREE)] > 0

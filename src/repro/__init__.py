@@ -19,7 +19,10 @@ IPDPS 2020, arXiv:2001.06778), including every substrate the paper assumes:
 * :mod:`repro.baselines` — Elastico/OmniLedger/RapidChain models for the
   Table I comparison;
 * :mod:`repro.analysis` — the closed-form security/complexity/incentive
-  math (Eq. 1–4, Fig. 4–5, Tables I–II).
+  math (Eq. 1–4, Fig. 4–5, Tables I–II);
+* :mod:`repro.exp` — the parallel experiment engine: declarative
+  parameter sweeps fanned out over worker processes with deterministic
+  per-point seeding and resume-from-cache.
 
 Quickstart::
 
@@ -33,7 +36,7 @@ from repro.core.config import ProtocolParams
 from repro.core.protocol import CycLedger, RoundReport
 from repro.nodes.adversary import AdversaryConfig, AdversaryController
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CycLedger",

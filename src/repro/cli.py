@@ -3,6 +3,7 @@
 Commands
 --------
 run        simulate CycLedger rounds and print per-round results
+sweep      run a parameter sweep on the parallel experiment engine
 failure    print the Fig. 5 failure-probability table/plot
 table1     print the Table I protocol comparison
 gx         print the Fig. 4 g(x) curve
@@ -39,6 +40,125 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"chain {len(ledger.chain)} blocks, valid={ledger.chain.verify()}, "
           f"{ledger.total_packed()} transactions")
     return 0
+
+
+def _parse_grid_value(raw: str):
+    """Parse one grid literal: bool, then int, then float, then bare string.
+
+    Booleans must be recognised explicitly — falling through to the bare
+    string would make both arms of ``--grid some_flag=false,true`` truthy.
+    """
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _parse_grid_args(grid_args: list[str]) -> tuple[dict, dict]:
+    """Split ``key=v1,v2`` specs into ProtocolParams and AdversaryConfig
+    axes (``adversary.`` prefix selects the latter)."""
+    grid: dict[str, tuple] = {}
+    adversary_grid: dict[str, tuple] = {}
+    for spec in grid_args:
+        key, sep, values = spec.partition("=")
+        if not sep or not values:
+            raise SystemExit(f"--grid expects key=v1,v2,...  (got {spec!r})")
+        parsed = tuple(_parse_grid_value(v) for v in values.split(","))
+        if key.startswith("adversary."):
+            adversary_grid[key[len("adversary."):]] = parsed
+        else:
+            grid[key] = parsed
+    return grid, adversary_grid
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.exp import Runner
+
+    try:
+        spec = _build_sweep_spec(args)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+
+    workers = 1 if args.serial else args.workers
+    runner = Runner(spec, workers=workers, cache_dir=args.cache_dir)
+
+    def progress(done: int, total: int, result) -> None:
+        point = result.point
+        print(
+            f"[{done:>3}/{total}] {result.key[:12]}  "
+            f"packed={result.totals['packed']:<5} "
+            f"recoveries={result.totals['recoveries']:<3} "
+            f"params={point['params']} adversary={point['adversary']}",
+            flush=True,
+        )
+
+    try:
+        outcome = runner.run(progress=progress)
+    except ValueError as error:
+        # Per-point construction errors (e.g. an n/m combination with no
+        # well-defined committee size) are user input, not crashes.
+        raise SystemExit(f"error: {error}")
+    print(
+        f"sweep '{spec.name}' ({outcome.spec_hash}): "
+        f"{len(outcome.results)} points, {outcome.executed} executed, "
+        f"{outcome.from_cache} from cache, "
+        f"{outcome.wall_time:.2f}s wall on {outcome.workers} workers"
+    )
+    if args.out:
+        outcome.write_json(args.out)
+        print(f"results -> {args.out}")
+    if args.csv:
+        outcome.write_csv(args.csv)
+        print(f"csv     -> {args.csv}")
+    if args.bench_out:
+        outcome.write_bench(args.bench_out)
+        print(f"perf    -> {args.bench_out}")
+    return 0
+
+
+def _build_sweep_spec(args: argparse.Namespace):
+    from repro.exp import ExperimentSpec, smoke_spec
+
+    if args.smoke:
+        spec = smoke_spec()
+    else:
+        grid, adversary_grid = _parse_grid_args(args.grid or [])
+        base = {
+            "n": args.n,
+            "m": args.m,
+            "lam": args.lam,
+            "referee_size": args.referee,
+            "users_per_shard": args.users,
+            "tx_per_committee": args.txs,
+            "cross_shard_ratio": args.cross,
+            "invalid_ratio": args.invalid,
+        }
+        base = {k: v for k, v in base.items() if k not in grid}
+        spec = ExperimentSpec(
+            name=args.name,
+            rounds=args.rounds,
+            seeds=tuple(int(s) for s in args.seeds.split(",")),
+            base=base,
+            grid=grid,
+            adversary_grid=adversary_grid,
+            capacity_preset=args.capacity_preset,
+        )
+    # Construct every point's ProtocolParams/AdversaryConfig up front so bad
+    # combinations (e.g. n - referee_size not divisible by m, or an
+    # out-of-range adversary fraction) fail before any work runs.
+    from repro.core.config import ProtocolParams
+    from repro.nodes.adversary import AdversaryConfig
+
+    for point in spec.expand():
+        ProtocolParams(**dict(point.params), seed=point.derived_seed)
+        if point.adversary is not None:
+            AdversaryConfig(**dict(point.adversary))
+    return spec
 
 
 def _cmd_failure(args: argparse.Namespace) -> int:
@@ -108,6 +228,41 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--leader-strategy", default="equivocating_leader")
     run.add_argument("--voter-strategy", default="contrary_voter")
     run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="parameter sweep on the parallel experiment engine"
+    )
+    sweep.add_argument("--name", default="cli-sweep")
+    sweep.add_argument(
+        "--grid", action="append", metavar="KEY=V1,V2",
+        help="sweep axis; repeatable; 'adversary.' prefix for adversary "
+             "fields (e.g. --grid m=2,4 --grid adversary.fraction=0.0,0.2)",
+    )
+    sweep.add_argument("--rounds", type=int, default=2)
+    sweep.add_argument("--seeds", default="0", help="comma-separated seed axis")
+    sweep.add_argument("--n", type=int, default=48)
+    sweep.add_argument("--m", type=int, default=2)
+    sweep.add_argument("--lam", type=int, default=2)
+    sweep.add_argument("--referee", type=int, default=6)
+    sweep.add_argument("--users", type=int, default=16)
+    sweep.add_argument("--txs", type=int, default=6)
+    sweep.add_argument("--cross", type=float, default=0.25)
+    sweep.add_argument("--invalid", type=float, default=0.1)
+    sweep.add_argument("--capacity-preset", default=None,
+                       help="named capacity function (uniform/tiered/weak_heavy)")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: cpu count)")
+    sweep.add_argument("--serial", action="store_true",
+                       help="force in-process serial execution")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="resume-from-partial-results cache directory")
+    sweep.add_argument("--out", default=None, help="aggregated JSON path")
+    sweep.add_argument("--csv", default=None, help="flat CSV path")
+    sweep.add_argument("--bench-out", default=None,
+                       help="perf trajectory sidecar (BENCH_sweep.json)")
+    sweep.add_argument("--smoke", action="store_true",
+                       help="run the canned CI smoke spec (ignores grid args)")
+    sweep.set_defaults(func=_cmd_sweep)
 
     failure = sub.add_parser("failure", help="Fig. 5 failure probabilities")
     failure.add_argument("--n", type=int, default=2000)

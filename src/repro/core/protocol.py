@@ -11,7 +11,7 @@ order per §III-E:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -22,7 +22,6 @@ from repro.core.config import ProtocolParams
 from repro.core.inter import InterReport, run_inter_consensus
 from repro.core.intra import IntraReport, run_intra_consensus
 from repro.core.node import CycNode
-from repro.core.recovery import punish_leader
 from repro.core.reputation import ReputationReport, run_reputation_updating
 from repro.core.selection import SelectionReport, run_selection
 from repro.core.semicommit import SemiCommitReport, run_semi_commitment_exchange
@@ -40,7 +39,7 @@ from repro.crypto.pki import PKI
 from repro.ledger.chain import Block, Chain
 from repro.ledger.state import ShardState
 from repro.ledger.workload import WorkloadGenerator
-from repro.metrics.counters import MetricsCollector, Roles
+from repro.metrics.counters import MetricsCollector
 from repro.net.simulator import Network
 from repro.net.topology import Channels, build_cycledger_topology
 from repro.nodes.adversary import AdversaryConfig, AdversaryController
@@ -86,7 +85,17 @@ class CycLedger:
         capacity_fn: Callable[[int, np.random.Generator], int] | None = None,
     ) -> None:
         self.params = params
-        self.rng = np.random.default_rng(params.seed)
+        # One root seed fans out into independent, order-insensitive
+        # sub-streams: protocol-phase draws, the workload generator, the
+        # adversary's corruption lottery, and network jitter each own a
+        # spawned child.  Identical seeds therefore give identical
+        # RoundReports even when one component changes how many draws it
+        # makes (e.g. a different jitter model can no longer perturb which
+        # nodes the adversary corrupts).
+        root_ss = np.random.SeedSequence(params.seed)
+        proto_ss, workload_ss, adversary_ss, net_ss = root_ss.spawn(4)
+        self.rng = np.random.default_rng(proto_ss)
+        self.net_rng = np.random.default_rng(net_ss)
         self.pki = PKI()
         self.metrics = MetricsCollector()  # cumulative across rounds
         self.nodes: dict[int, CycNode] = {}
@@ -102,13 +111,21 @@ class CycLedger:
         self.adversary = AdversaryController(
             adversary if adversary is not None else AdversaryConfig(),
             list(self.nodes),
-            self.rng,
+            np.random.default_rng(adversary_ss),
         )
         self.workload = WorkloadGenerator(
             m=params.m,
             users_per_shard=params.users_per_shard,
-            rng=self.rng,
+            rng=np.random.default_rng(workload_ss),
         )
+        # The network fabric and channel maps are built once and rewound
+        # per round (reset / in-place topology refill) instead of being
+        # reallocated — together with the shared PKI this keeps the
+        # per-round hot path allocation-light.
+        self.net = Network(params.net, self.net_rng)
+        for node in self.nodes.values():
+            self.net.add_node(node)
+        self._channels: Channels | None = None
         self.global_utxos = self.workload.genesis_utxos()
         self.shard_states = [ShardState(k, params.m) for k in range(params.m)]
         for state in self.shard_states:
@@ -212,11 +229,12 @@ class CycLedger:
             node.is_referee = True
             node.behavior = self.adversary.voter_behavior(rid)
 
-        channels = build_cycledger_topology(
+        self._channels = build_cycledger_topology(
             [(spec.members, spec.key_members) for spec in committees],
             referee_ids,
+            into=self._channels,
         )
-        return committees, referee_ids, channels
+        return committees, referee_ids, self._channels
 
     # -- the main loop -----------------------------------------------------
     def run_round(self) -> RoundReport:
@@ -227,9 +245,8 @@ class CycLedger:
             round_metrics.set_role(node.node_id, node.role)
         for cls, count in channels.counts.items():
             round_metrics.record_channels(cls, count)
-        net = Network(params.net, self.rng, metrics=round_metrics)
-        for node in self.nodes.values():
-            net.add_node(node)
+        net = self.net
+        net.reset(metrics=round_metrics)
         net.set_channel_classifier(channels.classify)
 
         batch = self.workload.generate_batch(

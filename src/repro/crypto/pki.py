@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.crypto.hashing import H, canonical_bytes
 
@@ -52,8 +52,18 @@ class PKI:
       a claimed signature/proof against a public key.
     """
 
+    _MAC_CACHE_MAX = 1 << 16
+
     def __init__(self) -> None:
         self._secrets: dict[str, bytes] = {}
+        # Consensus is verification-heavy: every committee member re-checks
+        # the same (pk, message) signatures during the all-to-all echo
+        # phases.  A bounded FIFO memo of recomputed MACs turns those
+        # repeats into a dict hit.  Entries can never go stale: generate()
+        # and register() both reject re-registration of a pk with a
+        # different sk, so a pk's MAC function is immutable for the
+        # registry's lifetime.
+        self._mac_cache: dict[tuple[str, bytes], bytes] = {}
 
     def generate(self, seed: bytes | str | int) -> KeyPair:
         """Deterministically derive and register a key pair from ``seed``.
@@ -85,8 +95,16 @@ class PKI:
         can never verify, matching the paper's requirement that the referee
         committee checks "all members in any list are registered".
         """
+        key = (pk, message)
+        cached = self._mac_cache.get(key)
+        if cached is not None:
+            return cached
         sk = self._secrets[pk]
-        return hmac.new(sk, message, hashlib.sha256).digest()
+        tag = hmac.new(sk, message, hashlib.sha256).digest()
+        if len(self._mac_cache) >= self._MAC_CACHE_MAX:
+            self._mac_cache.pop(next(iter(self._mac_cache)))
+        self._mac_cache[key] = tag
+        return tag
 
     def __len__(self) -> int:
         return len(self._secrets)

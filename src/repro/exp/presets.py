@@ -1,0 +1,62 @@
+"""Named capacity presets and canned sweep specs.
+
+Capacity functions cannot travel through a JSON spec (workers re-resolve
+them by name), so heterogeneous-capacity experiments register a preset
+here and reference it via ``ExperimentSpec.capacity_preset``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exp.spec import ExperimentSpec
+
+CapacityFn = Callable[[int, np.random.Generator], int]
+
+
+def tiered_capacity(node_id: int, rng: np.random.Generator) -> int:
+    """§VII-A's heterogeneous population: a strong majority (which keeps the
+    committee decision vector reliable), plus mid and weak minorities."""
+    tier = node_id % 10
+    if tier < 6:
+        return 10_000
+    if tier < 8:
+        return 5
+    return 2
+
+
+def weak_heavy_capacity(node_id: int, rng: np.random.Generator) -> int:
+    """Strong majority with a very weak tail — uniform leader lotteries
+    often land on a weak node whose capacity caps the TXList."""
+    return 10_000 if node_id % 10 < 6 else 3
+
+
+CAPACITY_PRESETS: dict[str, CapacityFn] = {
+    "uniform": lambda node_id, rng: 10_000,
+    "tiered": tiered_capacity,
+    "weak_heavy": weak_heavy_capacity,
+}
+
+
+def smoke_spec() -> ExperimentSpec:
+    """The CI smoke sweep: a tiny 2×2 grid (shard count × adversary
+    fraction) that exercises the full protocol, the process pool, and the
+    deterministic aggregation in a few seconds."""
+    return ExperimentSpec(
+        name="ci-smoke",
+        rounds=2,
+        seeds=(0,),
+        base={
+            "n": 24,
+            "lam": 2,
+            "referee_size": 6,
+            "users_per_shard": 12,
+            "tx_per_committee": 4,
+            "cross_shard_ratio": 0.25,
+            "invalid_ratio": 0.1,
+        },
+        grid={"m": (2, 3)},
+        adversary_grid={"fraction": (0.0, 0.2)},
+    )

@@ -1,0 +1,247 @@
+"""Typed sweep results and their serialization.
+
+A :class:`SweepResult` is the complete, process-portable outcome of one
+sweep point: the point descriptor, per-round headline rows, totals, the
+phase/role message-census cells, a per-node summary (capacity, behaviour,
+reputation, reward) and chain facts.  Everything inside it is a plain JSON
+type, so records cross process boundaries as strings, cache cleanly on
+disk, and aggregate into byte-identical files regardless of execution
+order or worker count.
+
+Wall-clock timings deliberately live *outside* the result (see
+``runner.PointTiming``): two runs of the same spec must produce identical
+``results.json`` bytes whether they ran serially, on eight workers, or
+half-from-cache.  Perf numbers go to the ``BENCH_sweep.json`` sidecar.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+from repro.exp.spec import canonical_json
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.protocol import CycLedger, RoundReport
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One sweep point's outcome (deterministic content only)."""
+
+    point: Mapping[str, Any]  # SweepPoint.descriptor()
+    key: str
+    totals: Mapping[str, Any]
+    per_round: tuple[Mapping[str, Any], ...]
+    cells: Mapping[str, Mapping[str, int]]  # "phase/role" -> messages/bytes
+    nodes: tuple[Mapping[str, Any], ...]
+    chain: Mapping[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "point": dict(self.point),
+            "key": self.key,
+            "totals": dict(self.totals),
+            "per_round": [dict(r) for r in self.per_round],
+            "cells": {k: dict(v) for k, v in self.cells.items()},
+            "nodes": [dict(n) for n in self.nodes],
+            "chain": dict(self.chain),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
+        return cls(
+            point=data["point"],
+            key=data["key"],
+            totals=data["totals"],
+            per_round=tuple(data["per_round"]),
+            cells=data["cells"],
+            nodes=tuple(data["nodes"]),
+            chain=data["chain"],
+        )
+
+
+#: totals summed over rounds (everything headline a bench might plot)
+_SUMMED_ROUND_FIELDS = (
+    "submitted",
+    "packed",
+    "cross_packed",
+    "recoveries",
+    "messages",
+    "bytes",
+    "intra_accepted",
+    "inter_accepted",
+    "inter_voted",
+    "prefilter_savings",
+)
+
+
+def round_row(report: "RoundReport") -> dict[str, Any]:
+    """Flatten one :class:`RoundReport` into a JSON-ready row."""
+    return {
+        "round": report.round_number,
+        "submitted": report.submitted,
+        "packed": report.packed,
+        "cross_packed": report.cross_packed,
+        "recoveries": report.recoveries,
+        "messages": report.messages,
+        "bytes": report.bytes_sent,
+        "sim_time": report.sim_time,
+        "reliable_channels": report.reliable_channels,
+        "block": report.block.hash.hex() if report.block else None,
+        "intra_accepted": sum(
+            len(txs) for txs in report.intra.accepted_by_cr.values()
+        ),
+        "inter_accepted": sum(len(txs) for txs in report.inter.accepted.values()),
+        "inter_voted": sum(
+            len(r.txs) for r in report.inter.send_rounds.values()
+        ),
+        "prefilter_savings": report.inter.prefilter_savings,
+        "intra_elapsed": report.intra.elapsed,
+        "inter_elapsed": report.inter.elapsed,
+        "blockgen_elapsed": report.blockgen.elapsed,
+        "blockgen_subblocks": report.blockgen.parallel_subblocks,
+        "blockgen_width": report.blockgen.parallel_width,
+    }
+
+
+def collect_result(
+    ledger: "CycLedger",
+    reports: Iterable["RoundReport"],
+    point_descriptor: Mapping[str, Any],
+    key: str,
+) -> SweepResult:
+    """Distil a finished run into a :class:`SweepResult`."""
+    rows = tuple(round_row(r) for r in reports)
+    totals: dict[str, Any] = {
+        name: sum(row[name] for row in rows) for name in _SUMMED_ROUND_FIELDS
+    }
+    totals["sim_time"] = sum(row["sim_time"] for row in rows)
+    totals["rounds"] = len(rows)
+    totals["blocks"] = sum(1 for row in rows if row["block"] is not None)
+    totals["reliable_channels"] = rows[-1]["reliable_channels"] if rows else 0
+    cells = {
+        f"{phase}/{role}": {
+            "messages": cell.messages,
+            "bytes": cell.bytes,
+            "storage": cell.storage,
+        }
+        for (phase, role), cell in sorted(ledger.metrics.cells.items())
+    }
+    nodes = tuple(
+        {
+            "id": node.node_id,
+            "capacity": node.capacity,
+            "behavior": node.behavior.name,
+            "corrupted": ledger.adversary.is_corrupted(node.node_id),
+            "reputation": ledger.reputation.get(node.pk, 0.0),
+            "reward": ledger.rewards.get(node.pk, 0.0),
+            "key_member": node.is_key_member,
+            "referee": node.is_referee,
+        }
+        for node in ledger.nodes.values()
+    )
+    chain = {
+        "length": len(ledger.chain),
+        "valid": ledger.chain.verify(),
+        "total_transactions": ledger.total_packed(),
+    }
+    return SweepResult(
+        point=dict(point_descriptor),
+        key=key,
+        totals=totals,
+        per_round=rows,
+        cells=cells,
+        nodes=nodes,
+        chain=chain,
+    )
+
+
+# -- aggregation & files ----------------------------------------------------
+def aggregate_json(
+    spec_dict: Mapping[str, Any],
+    spec_hash: str,
+    results: Iterable[SweepResult],
+) -> bytes:
+    """The deterministic sweep artifact.
+
+    Records are ordered by point key, the encoding is canonical, and no
+    wall-clock data is included — serial and parallel runs of the same
+    spec produce byte-identical output.
+    """
+    payload = {
+        "spec": dict(spec_dict),
+        "spec_hash": spec_hash,
+        "results": [
+            r.to_dict() for r in sorted(results, key=lambda r: r.key)
+        ],
+    }
+    return (canonical_json(payload) + "\n").encode("utf-8")
+
+
+_CSV_TOTAL_COLUMNS = (
+    "rounds",
+    "submitted",
+    "packed",
+    "cross_packed",
+    "recoveries",
+    "messages",
+    "bytes",
+    "sim_time",
+    "blocks",
+    "reliable_channels",
+)
+
+
+def write_csv(path: str, results: Iterable[SweepResult]) -> None:
+    """Flat one-row-per-point CSV (params as ``p_*``, adversary as ``a_*``)."""
+    results = sorted(results, key=lambda r: r.key)
+    param_keys = sorted({k for r in results for k in r.point["params"]})
+    adv_keys = sorted(
+        {k for r in results for k in (r.point["adversary"] or {})}
+    )
+    header = (
+        ["key", "seed", "derived_seed"]
+        + [f"p_{k}" for k in param_keys]
+        + [f"a_{k}" for k in adv_keys]
+        + list(_CSV_TOTAL_COLUMNS)
+    )
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    for r in results:
+        adversary = r.point["adversary"] or {}
+        writer.writerow(
+            [r.key, r.point["seed"], r.point["derived_seed"]]
+            + [r.point["params"].get(k, "") for k in param_keys]
+            + [adversary.get(k, "") for k in adv_keys]
+            + [r.totals.get(col, "") for col in _CSV_TOTAL_COLUMNS]
+        )
+    atomic_write_bytes(path, buffer.getvalue().encode("utf-8"))
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Crash-safe write: the cache and artifacts are either complete or
+    absent, never truncated (a killed sweep must be resumable)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str, obj: Any) -> None:
+    atomic_write_bytes(path, (json.dumps(obj, sort_keys=True, indent=2) + "\n").encode())

@@ -8,9 +8,8 @@ B^r".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
-from typing import Sequence
 
 from repro.crypto.hashing import H
 from repro.ledger.transaction import Transaction

@@ -8,7 +8,6 @@ double-spending."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable, Iterator
 

@@ -68,6 +68,26 @@ class Network:
         self.drop_filter: Callable[[Message], bool] | None = None
 
     # -- wiring ------------------------------------------------------------
+    def reset(self, metrics: MetricsCollector | None = None) -> None:
+        """Rewind the fabric for a fresh round without re-registering nodes.
+
+        The CycLedger orchestrator runs many rounds against one long-lived
+        network; rebuilding the simulator (and re-attaching every node) per
+        round dominated the small-scale hot path.  ``reset`` drops all
+        pending events, rewinds the clock, and swaps in a fresh metrics
+        sink while keeping the node registry and RNG stream intact.
+        """
+        if metrics is not None:
+            self.metrics = metrics
+        self.now = 0.0
+        self._queue.clear()
+        self._seq = itertools.count()
+        self.channel_classifier = lambda src, dst: ChannelClass.PARTIAL
+        self.adversarial_scheduler = None
+        self.delivered_messages = 0
+        self.dropped_messages = 0
+        self.drop_filter = None
+
     def add_node(self, node: "ProtocolNode") -> None:
         if node.node_id in self.nodes:
             raise ValueError(f"duplicate node id {node.node_id}")

@@ -71,16 +71,28 @@ class Channels:
 def build_cycledger_topology(
     committees: Sequence[tuple[Iterable[int], Iterable[int]]],
     referee: Iterable[int],
+    into: Channels | None = None,
 ) -> Channels:
     """Build the CycLedger channel graph.
 
     ``committees`` is a sequence of ``(members, key_members)`` id
     collections (key members included in members); ``referee`` is the
-    referee-committee id set.
+    referee-committee id set.  Passing ``into`` refills an existing
+    :class:`Channels` in place (the orchestrator reuses one instance
+    across rounds instead of reallocating the maps every round).
     """
-    committee_of: dict[int, int] = {}
-    is_key: set[int] = set()
-    referee_set = set(referee)
+    if into is not None:
+        committee_of = into.committee_of
+        committee_of.clear()
+        is_key = into.is_key
+        is_key.clear()
+        referee_set = into.referee
+        referee_set.clear()
+        referee_set |= set(referee)
+    else:
+        committee_of = {}
+        is_key = set()
+        referee_set = set(referee)
     sizes: list[int] = []
     for index, (members, keys) in enumerate(committees):
         members = list(members)
@@ -112,6 +124,10 @@ def build_cycledger_topology(
         ChannelClass.KEY: key_cross,
         ChannelClass.REFEREE: key_total * cr,
     }
+    if into is not None:
+        into.counts.clear()
+        into.counts.update(counts)
+        return into
     return Channels(
         committee_of=committee_of,
         is_key=is_key,

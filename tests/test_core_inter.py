@@ -1,7 +1,6 @@
 """Inter-committee consensus: cross-shard flow, Lemma 6/7 attacks, prefilter."""
 
 import numpy as np
-import pytest
 
 from repro.core.committee import run_committee_configuration
 from repro.core.consensus import consensus_digest

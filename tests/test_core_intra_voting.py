@@ -1,7 +1,6 @@
 """Algorithm 5 / vote rounds: voting, tallying, auditing, recovery."""
 
 import numpy as np
-import pytest
 
 from repro.core.committee import run_committee_configuration
 from repro.core.intra import run_intra_consensus

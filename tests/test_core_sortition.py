@@ -13,7 +13,6 @@ from repro.core.sortition import (
     role_hash,
     verify_sortition,
 )
-from repro.crypto.pki import PKI
 
 
 def test_sortition_in_range(pki):

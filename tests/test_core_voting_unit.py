@@ -13,7 +13,6 @@ from repro.core.voting import (
     run_vote_rounds,
 )
 from repro.ledger.transaction import TxOutput, make_coinbase, make_transfer
-from repro.nodes.behaviors import OfflineNode
 
 
 @pytest.fixture

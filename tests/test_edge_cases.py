@@ -1,7 +1,6 @@
 """Edge cases and failure-injection scenarios across modules."""
 
 import numpy as np
-import pytest
 
 from repro.core.committee import run_committee_configuration
 from repro.core.intra import audit_vote_round, first_honest_partial, run_intra_consensus

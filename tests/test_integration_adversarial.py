@@ -1,6 +1,5 @@
 """Adversarial integration scenarios beyond the basic runs."""
 
-import numpy as np
 import pytest
 
 from repro import AdversaryConfig, CycLedger, ProtocolParams

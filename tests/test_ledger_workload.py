@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.ledger.transaction import shard_of_address
-from repro.ledger.utxo import UTXOSet, validate_transaction
+from repro.ledger.utxo import validate_transaction
 from repro.ledger.workload import WorkloadGenerator
 
 

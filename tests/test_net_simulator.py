@@ -1,6 +1,5 @@
 """Network simulator: delivery, latency classes, timers, strict channels."""
 
-import numpy as np
 import pytest
 
 from repro.crypto.pki import PKI
