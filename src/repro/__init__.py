@@ -22,7 +22,10 @@ IPDPS 2020, arXiv:2001.06778), including every substrate the paper assumes:
   math (Eq. 1–4, Fig. 4–5, Tables I–II);
 * :mod:`repro.exp` — the parallel experiment engine: declarative
   parameter sweeps fanned out over worker processes with deterministic
-  per-point seeding and resume-from-cache.
+  per-point seeding and resume-from-cache;
+* :mod:`repro.scenarios` — declarative, seed-deterministic fault
+  injection (partitions, latency spikes, leader crashes, adversary
+  ramps, churn) attached to the round's phase pipeline.
 
 Quickstart::
 
@@ -33,16 +36,23 @@ Quickstart::
 """
 
 from repro.core.config import ProtocolParams
-from repro.core.protocol import CycLedger, RoundReport
+from repro.core.pipeline import Phase, PhasePipeline
+from repro.core.protocol import CycLedger, RoundReport, build_default_pipeline
 from repro.nodes.adversary import AdversaryConfig, AdversaryController
+from repro.scenarios import SCENARIO_PRESETS, Scenario
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CycLedger",
+    "Phase",
+    "PhasePipeline",
     "ProtocolParams",
     "RoundReport",
+    "SCENARIO_PRESETS",
+    "Scenario",
     "AdversaryConfig",
     "AdversaryController",
+    "build_default_pipeline",
     "__version__",
 ]

@@ -3,6 +3,7 @@
 Commands
 --------
 run        simulate CycLedger rounds and print per-round results
+scenario   run a fault-injection scenario preset (or list presets)
 sweep      run a parameter sweep on the parallel experiment engine
 failure    print the Fig. 5 failure-probability table/plot
 table1     print the Table I protocol comparison
@@ -40,6 +41,76 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"chain {len(ledger.chain)} blocks, valid={ledger.chain.verify()}, "
           f"{ledger.total_packed()} transactions")
     return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro import AdversaryConfig, CycLedger, ProtocolParams
+    from repro.scenarios import SCENARIO_PRESETS
+
+    if args.list:
+        for name, scenario in sorted(SCENARIO_PRESETS.items()):
+            kinds = ", ".join(type(e).kind for e in scenario.events)
+            print(f"{name:<18} last event round {scenario.last_event_round}: "
+                  f"{kinds}")
+        return 0
+    if args.preset is None:
+        raise SystemExit("error: give --preset NAME or --list")
+    scenario = SCENARIO_PRESETS.get(args.preset)
+    if scenario is None:
+        known = ", ".join(sorted(SCENARIO_PRESETS))
+        raise SystemExit(f"error: unknown preset {args.preset!r} (known: {known})")
+
+    params = ProtocolParams(
+        n=args.n, m=args.m, lam=args.lam, referee_size=args.referee,
+        seed=args.seed, users_per_shard=args.users,
+        tx_per_committee=args.txs, cross_shard_ratio=args.cross,
+        invalid_ratio=args.invalid,
+    )
+    adversary = AdversaryConfig(fraction=args.adversary)
+    rounds = args.rounds
+    if rounds is None:
+        # Default: run one clean round past the last fault so the output
+        # shows both degradation and recovery.
+        rounds = scenario.last_event_round + 1
+    ledger = CycLedger(params, adversary=adversary, scenario=scenario)
+    print(f"scenario '{scenario.name}', {rounds} rounds, seed {args.seed}")
+    print(f"{'round':>5} {'packed':>6} {'cross':>5} {'dropped':>7} "
+          f"{'recov':>5} {'msgs':>8} {'time':>7}")
+    reports = ledger.run(rounds)
+    for report in reports:
+        print(f"{report.round_number:>5} {report.packed:>6} "
+              f"{report.cross_packed:>5} {report.dropped:>7} "
+              f"{report.recoveries:>5} {report.messages:>8} "
+              f"{report.sim_time:>7.1f}")
+    if args.verbose and ledger.scenario_driver is not None:
+        for line in ledger.scenario_driver.log:
+            print(f"  · {line}")
+    print(f"chain {len(ledger.chain)} blocks, valid={ledger.chain.verify()}, "
+          f"{ledger.total_packed()} transactions")
+    if args.json:
+        _write_scenario_json(args.json, scenario, params, rounds, reports)
+        print(f"rows -> {args.json}")
+    return 0
+
+
+def _write_scenario_json(
+    path: str, scenario, params, rounds: int, reports
+) -> None:
+    """Canonical, deterministic run record (the CI byte-identity gate
+    compares two of these from identical seeds)."""
+    import dataclasses
+
+    from repro.exp.results import atomic_write_bytes, round_row
+    from repro.exp.spec import canonical_json
+
+    params_dict = dataclasses.asdict(params)  # recurses into nested net
+    payload = {
+        "scenario": scenario.to_dict(),
+        "params": params_dict,
+        "rounds": rounds,
+        "rows": [round_row(r) for r in reports],
+    }
+    atomic_write_bytes(path, (canonical_json(payload) + "\n").encode())
 
 
 def _parse_grid_value(raw: str):
@@ -139,6 +210,12 @@ def _build_sweep_spec(args: argparse.Namespace):
             "invalid_ratio": args.invalid,
         }
         base = {k: v for k, v in base.items() if k not in grid}
+        scenario_grid: tuple = ()
+        if args.scenarios:
+            scenario_grid = tuple(
+                None if s in ("none", "") else s
+                for s in args.scenarios.split(",")
+            )
         spec = ExperimentSpec(
             name=args.name,
             rounds=args.rounds,
@@ -147,6 +224,8 @@ def _build_sweep_spec(args: argparse.Namespace):
             grid=grid,
             adversary_grid=adversary_grid,
             capacity_preset=args.capacity_preset,
+            scenario=args.scenario,
+            scenario_grid=scenario_grid,
         )
     # Construct every point's ProtocolParams/AdversaryConfig up front so bad
     # combinations (e.g. n - referee_size not divisible by m, or an
@@ -229,6 +308,32 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--voter-strategy", default="contrary_voter")
     run.set_defaults(func=_cmd_run)
 
+    scenario = sub.add_parser(
+        "scenario", help="run a fault-injection scenario preset"
+    )
+    scenario.add_argument("--list", action="store_true",
+                          help="list available scenario presets")
+    scenario.add_argument("--preset", default=None,
+                          help="scenario preset name (see --list)")
+    scenario.add_argument("--rounds", type=int, default=None,
+                          help="rounds to run (default: one past the last "
+                               "fault, so recovery is visible)")
+    scenario.add_argument("--n", type=int, default=48)
+    scenario.add_argument("--m", type=int, default=4)
+    scenario.add_argument("--lam", type=int, default=2)
+    scenario.add_argument("--referee", type=int, default=8)
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument("--users", type=int, default=24)
+    scenario.add_argument("--txs", type=int, default=6)
+    scenario.add_argument("--cross", type=float, default=0.3)
+    scenario.add_argument("--invalid", type=float, default=0.1)
+    scenario.add_argument("--adversary", type=float, default=0.0)
+    scenario.add_argument("--verbose", action="store_true",
+                          help="print the applied fault timeline")
+    scenario.add_argument("--json", default=None,
+                          help="write the canonical per-round record here")
+    scenario.set_defaults(func=_cmd_scenario)
+
     sweep = sub.add_parser(
         "sweep", help="parameter sweep on the parallel experiment engine"
     )
@@ -250,6 +355,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--invalid", type=float, default=0.1)
     sweep.add_argument("--capacity-preset", default=None,
                        help="named capacity function (uniform/tiered/weak_heavy)")
+    sweep.add_argument("--scenario", default=None,
+                       help="fault-injection preset applied to every point "
+                            "(see 'repro scenario --list')")
+    sweep.add_argument("--scenarios", default=None,
+                       help="comma-separated scenario axis; 'none' for the "
+                            "fault-free arm (e.g. none,partition-halves,churn)")
     sweep.add_argument("--workers", type=int, default=None,
                        help="worker processes (default: cpu count)")
     sweep.add_argument("--serial", action="store_true",

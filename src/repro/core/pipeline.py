@@ -1,0 +1,156 @@
+"""Composable phase pipeline for round orchestration.
+
+The paper fixes the phase order (§III-E: committee configuration →
+semi-commitment → intra/inter consensus → reputation → selection → block
+generation), but the orchestrator should not hard-code it: scenario
+injection, instrumentation, and future protocol variants all want to attach
+to phase boundaries without forking ``run_round``.  A :class:`Phase` wraps
+one phase executor behind the uniform ``run(ctx) -> report`` interface; a
+:class:`PhasePipeline` holds them in order, runs pre/post hooks around each
+one, and records per-phase simulated-time spans.
+
+Hooks come in two granularities:
+
+* **phase hooks** — ``hook(ctx, phase_name)`` before/after one named phase;
+  this is where the scenario driver installs network partitions and link
+  degradations (the fabric is reset per round, so effects must be
+  re-applied after the reset and before the first phase runs);
+* **round hooks** — ``hook(ledger)`` before role assignment and
+  ``hook(ledger, report)`` after the round report is assembled; this is
+  where per-round reconfiguration (adversary ramps, crash/churn offline
+  windows) happens, since those must land before committees are drawn.
+
+Timings use the network's simulated clock, never the wall clock, so a
+:class:`~repro.core.protocol.RoundReport` stays byte-identical across runs
+of the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.protocol import CycLedger, RoundReport
+    from repro.core.structures import RoundContext
+
+PhaseFn = Callable[["RoundContext"], Any]
+PhaseHook = Callable[["RoundContext", str], None]
+RoundStartHook = Callable[["CycLedger"], None]
+RoundEndHook = Callable[["CycLedger", "RoundReport"], None]
+
+PRE = "pre"
+POST = "post"
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One protocol phase: a name and its executor.
+
+    Executors read their inputs from the :class:`RoundContext` (including
+    earlier phases' reports via ``ctx.phase_reports``) and return a report
+    object, which the pipeline stores back under ``name``.
+    """
+
+    name: str
+    run: PhaseFn
+
+
+class PhasePipeline:
+    """Ordered registry of :class:`Phase` objects plus their hooks."""
+
+    def __init__(self, phases: Iterable[Phase] = ()) -> None:
+        self._phases: list[Phase] = []
+        self._phase_hooks: dict[tuple[str, str], list[PhaseHook]] = {}
+        self._round_hooks: dict[str, list[Callable]] = {PRE: [], POST: []}
+        #: sim-time span of each phase in the most recent :meth:`execute`.
+        self.last_timings: dict[str, float] = {}
+        #: the scenario driver bound to this pipeline, if any — hooks are
+        #: append-only, so a pipeline can serve at most one driver (and
+        #: therefore one ledger with a scenario).
+        self.scenario_driver: Any = None
+        #: first ledger that ran on this pipeline; scenario attachment
+        #: requires a pipeline nobody else has claimed, in either order.
+        self.owner: Any = None
+        for phase in phases:
+            self.register(phase)
+
+    # -- registry ----------------------------------------------------------
+    def register(
+        self,
+        phase: Phase,
+        *,
+        before: str | None = None,
+        after: str | None = None,
+    ) -> None:
+        """Add a phase, by default at the end; ``before``/``after`` insert
+        relative to an existing phase (at most one may be given)."""
+        if before is not None and after is not None:
+            raise ValueError("give at most one of before/after")
+        if any(p.name == phase.name for p in self._phases):
+            raise ValueError(f"duplicate phase {phase.name!r}")
+        if before is None and after is None:
+            self._phases.append(phase)
+            return
+        anchor = before if before is not None else after
+        index = self.index_of(anchor)  # raises on unknown anchor
+        self._phases.insert(index if before is not None else index + 1, phase)
+
+    def index_of(self, name: str) -> int:
+        for index, phase in enumerate(self._phases):
+            if phase.name == name:
+                return index
+        raise KeyError(f"unknown phase {name!r}")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self._phases)
+
+    def __iter__(self) -> Iterator[Phase]:
+        return iter(self._phases)
+
+    def __len__(self) -> int:
+        return len(self._phases)
+
+    # -- hooks -------------------------------------------------------------
+    def add_phase_hook(self, phase_name: str, when: str, hook: PhaseHook) -> None:
+        """Attach ``hook(ctx, phase_name)`` to run ``when`` ("pre"/"post")
+        around the named phase."""
+        if when not in (PRE, POST):
+            raise ValueError(f"when must be 'pre' or 'post', got {when!r}")
+        self.index_of(phase_name)  # validate the phase exists
+        self._phase_hooks.setdefault((phase_name, when), []).append(hook)
+
+    def add_round_hook(self, when: str, hook: Callable) -> None:
+        """Attach a round-boundary hook: ``hook(ledger)`` at "pre" (before
+        role assignment), ``hook(ledger, report)`` at "post"."""
+        if when not in (PRE, POST):
+            raise ValueError(f"when must be 'pre' or 'post', got {when!r}")
+        self._round_hooks[when].append(hook)
+
+    # -- execution ---------------------------------------------------------
+    def begin_round(self, ledger: "CycLedger") -> None:
+        for hook in self._round_hooks[PRE]:
+            hook(ledger)
+
+    def end_round(self, ledger: "CycLedger", report: "RoundReport") -> None:
+        for hook in self._round_hooks[POST]:
+            hook(ledger, report)
+
+    def execute(self, ctx: "RoundContext") -> dict[str, Any]:
+        """Run every registered phase in order against ``ctx``.
+
+        Each phase's report lands in ``ctx.phase_reports[name]`` (so later
+        phases can read earlier results) and the full mapping is returned.
+        """
+        self.last_timings = {}
+        for phase in self._phases:
+            for hook in self._phase_hooks.get((phase.name, PRE), ()):
+                hook(ctx, phase.name)
+            started = ctx.net.now
+            report = phase.run(ctx)
+            ctx.phase_reports[phase.name] = report
+            self.last_timings[phase.name] = ctx.net.now - started
+            for hook in self._phase_hooks.get((phase.name, POST), ()):
+                hook(ctx, phase.name)
+        return dict(ctx.phase_reports)

@@ -11,8 +11,8 @@ order per §III-E:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -22,16 +22,15 @@ from repro.core.config import ProtocolParams
 from repro.core.inter import InterReport, run_inter_consensus
 from repro.core.intra import IntraReport, run_intra_consensus
 from repro.core.node import CycNode
+from repro.core.pipeline import Phase, PhasePipeline
 from repro.core.reputation import ReputationReport, run_reputation_updating
 from repro.core.selection import SelectionReport, run_selection
 from repro.core.semicommit import SemiCommitReport, run_semi_commitment_exchange
 from repro.core.sortition import (
-    PARTIAL_ROLE,
     REFEREE_ROLE,
+    assign_partial_sets,
     crypto_sort,
-    partial_committee_of,
     rank_select,
-    role_hash,
 )
 from repro.core.structures import CommitteeSpec, RoundContext
 from repro.crypto.hashing import H
@@ -43,6 +42,43 @@ from repro.metrics.counters import MetricsCollector
 from repro.net.simulator import Network
 from repro.net.topology import Channels, build_cycledger_topology
 from repro.nodes.adversary import AdversaryConfig, AdversaryController
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scenarios.scenario import Scenario
+
+
+#: Canonical phase names (§III-E order).  They match the phase labels the
+#: executors set on the metrics collector, so pipeline timings and message
+#: census rows line up.
+PHASE_CONFIG = "config"
+PHASE_SEMICOMMIT = "semicommit"
+PHASE_INTRA = "intra"
+PHASE_INTER = "inter"
+PHASE_REPUTATION = "reputation"
+PHASE_SELECTION = "selection"
+PHASE_BLOCK = "block"
+
+
+def _run_block_phase(ctx) -> BlockReport:
+    """Block generation needs the selection phase's outcome; under the
+    pipeline it reads it from the shared context instead of a positional
+    argument."""
+    return run_block_generation(ctx, ctx.phase_reports[PHASE_SELECTION])
+
+
+def build_default_pipeline() -> PhasePipeline:
+    """The paper's seven-phase round, as a fresh (mutable) pipeline."""
+    return PhasePipeline(
+        (
+            Phase(PHASE_CONFIG, run_committee_configuration),
+            Phase(PHASE_SEMICOMMIT, run_semi_commitment_exchange),
+            Phase(PHASE_INTRA, run_intra_consensus),
+            Phase(PHASE_INTER, run_inter_consensus),
+            Phase(PHASE_REPUTATION, run_reputation_updating),
+            Phase(PHASE_SELECTION, run_selection),
+            Phase(PHASE_BLOCK, _run_block_phase),
+        )
+    )
 
 
 @dataclass
@@ -67,6 +103,12 @@ class RoundReport:
     bytes_sent: int = 0
     sim_time: float = 0.0
     reliable_channels: int = 0
+    dropped: int = 0  # messages the fabric dropped (partitions, filters)
+    # Sim-time span of each pipeline phase and completion times of leader
+    # re-selections — both on the simulated clock, so reports stay
+    # deterministic per seed.
+    phase_sim_times: dict[str, float] = field(default_factory=dict)
+    recovery_times: tuple[float, ...] = ()
 
 
 class CycLedger:
@@ -83,17 +125,20 @@ class CycLedger:
         params: ProtocolParams,
         adversary: AdversaryConfig | None = None,
         capacity_fn: Callable[[int, np.random.Generator], int] | None = None,
+        scenario: "Scenario | None" = None,
+        pipeline: PhasePipeline | None = None,
     ) -> None:
         self.params = params
         # One root seed fans out into independent, order-insensitive
         # sub-streams: protocol-phase draws, the workload generator, the
-        # adversary's corruption lottery, and network jitter each own a
-        # spawned child.  Identical seeds therefore give identical
-        # RoundReports even when one component changes how many draws it
-        # makes (e.g. a different jitter model can no longer perturb which
-        # nodes the adversary corrupts).
+        # adversary's corruption lottery, network jitter, and scenario
+        # event draws each own a spawned child.  Identical seeds therefore
+        # give identical RoundReports even when one component changes how
+        # many draws it makes (e.g. a different jitter model can no longer
+        # perturb which nodes the adversary corrupts, and attaching a
+        # scenario cannot shift any other stream).
         root_ss = np.random.SeedSequence(params.seed)
-        proto_ss, workload_ss, adversary_ss, net_ss = root_ss.spawn(4)
+        proto_ss, workload_ss, adversary_ss, net_ss, scenario_ss = root_ss.spawn(5)
         self.rng = np.random.default_rng(proto_ss)
         self.net_rng = np.random.default_rng(net_ss)
         self.pki = PKI()
@@ -108,6 +153,9 @@ class CycLedger:
                 self.pki.generate(("cycledger", params.seed, node_id)),
                 capacity=capacity,
             )
+        # pk -> node id, built once: _node_id is called inside per-round
+        # role-assignment loops, where a linear scan over all nodes is O(n²).
+        self._pk_to_id = {node.pk: node.node_id for node in self.nodes.values()}
         self.adversary = AdversaryController(
             adversary if adversary is not None else AdversaryConfig(),
             list(self.nodes),
@@ -146,32 +194,42 @@ class CycLedger:
         rest = [pk for pk in all_pks if pk not in set(self._next_referee)]
         self._next_leaders = rank_select(rest, 1, self.randomness, "LEADER", params.m)
         pool = [pk for pk in rest if pk not in set(self._next_leaders)]
-        self._next_partials = self._fill_partials(pool, 1, self.randomness)
+        self._next_partials = assign_partial_sets(
+            pool, 1, self.randomness, params.m, params.lam
+        )
         self.reports: list[RoundReport] = []
+        if pipeline is not None:
+            # Scenario hooks fire on *every* ledger that runs the pipeline,
+            # so a pipeline may never be shared between a scenario-bearing
+            # ledger and any other — in either construction order.
+            if pipeline.scenario_driver is not None:
+                raise ValueError(
+                    "pipeline is already bound to a scenario-bearing "
+                    "ledger; build a fresh pipeline per ledger"
+                )
+            if scenario is not None and pipeline.owner is not None:
+                raise ValueError(
+                    "pipeline is already in use by another ledger; a "
+                    "scenario needs a dedicated pipeline"
+                )
+        self.pipeline = pipeline if pipeline is not None else build_default_pipeline()
+        if self.pipeline.owner is None:
+            self.pipeline.owner = self
+        self.scenario = scenario
+        self.scenario_driver = None
+        if scenario is not None:
+            # Local import: repro.scenarios builds on the pipeline and net
+            # layers and must stay importable without the orchestrator.
+            from repro.scenarios.scenario import ScenarioDriver
+
+            self.scenario_driver = ScenarioDriver(
+                scenario, np.random.default_rng(scenario_ss)
+            )
+            self.scenario_driver.install(self)
 
     # -- helpers ------------------------------------------------------------
-    def _fill_partials(
-        self, pool: list[str], round_number: int, randomness: bytes
-    ) -> list[list[str]]:
-        ranked = rank_select(pool, round_number, randomness, PARTIAL_ROLE, len(pool))
-        partials: list[list[str]] = [[] for _ in range(self.params.m)]
-        overflow: list[str] = []
-        for pk in ranked:
-            k = partial_committee_of(round_number, randomness, pk, self.params.m)
-            if len(partials[k]) < self.params.lam:
-                partials[k].append(pk)
-            else:
-                overflow.append(pk)
-        for k in range(self.params.m):
-            while len(partials[k]) < self.params.lam and overflow:
-                partials[k].append(overflow.pop(0))
-        return partials
-
     def _node_id(self, pk: str) -> int:
-        for node in self.nodes.values():
-            if node.pk == pk:
-                return node.node_id
-        raise KeyError(pk)
+        return self._pk_to_id[pk]
 
     # -- round assembly -----------------------------------------------------
     def _assign_round(self) -> tuple[list[CommitteeSpec], list[int], Channels]:
@@ -239,6 +297,7 @@ class CycLedger:
     # -- the main loop -----------------------------------------------------
     def run_round(self) -> RoundReport:
         params = self.params
+        self.pipeline.begin_round(self)
         committees, referee_ids, channels = self._assign_round()
         round_metrics = MetricsCollector()
         for node in self.nodes.values():
@@ -275,13 +334,9 @@ class CycLedger:
             rewards=self.rewards,
         )
 
-        config_report = run_committee_configuration(ctx)
-        semicommit_report = run_semi_commitment_exchange(ctx)
-        intra_report = run_intra_consensus(ctx)
-        inter_report = run_inter_consensus(ctx)
-        reputation_report = run_reputation_updating(ctx)
-        selection_report = run_selection(ctx)
-        block_report = run_block_generation(ctx, selection_report)
+        phase_reports = self.pipeline.execute(ctx)
+        selection_report: SelectionReport = phase_reports[PHASE_SELECTION]
+        block_report: BlockReport = phase_reports[PHASE_BLOCK]
 
         # Expelled leaders already had the cube-root punishment applied by
         # the recovery module; nothing further here (§VII-B).
@@ -298,11 +353,11 @@ class CycLedger:
         report = RoundReport(
             round_number=self.round_number,
             block=block_report.block,
-            config=config_report,
-            semicommit=semicommit_report,
-            intra=intra_report,
-            inter=inter_report,
-            reputation=reputation_report,
+            config=phase_reports[PHASE_CONFIG],
+            semicommit=phase_reports[PHASE_SEMICOMMIT],
+            intra=phase_reports[PHASE_INTRA],
+            inter=phase_reports[PHASE_INTER],
+            reputation=phase_reports[PHASE_REPUTATION],
             selection=selection_report,
             blockgen=block_report,
             submitted=len(batch),
@@ -313,6 +368,9 @@ class CycLedger:
             bytes_sent=round_metrics.total_bytes(),
             sim_time=net.now,
             reliable_channels=channels.total_reliable(),
+            dropped=net.dropped_messages,
+            phase_sim_times=dict(self.pipeline.last_timings),
+            recovery_times=tuple(e.sim_time for e in ctx.recoveries),
         )
         self.metrics.merge(round_metrics)
         self.reports.append(report)
@@ -324,6 +382,7 @@ class CycLedger:
         self.randomness = selection_report.randomness
         self.round_number += 1
         self.adversary.advance_round()
+        self.pipeline.end_round(self, report)
         return report
 
     def run(self, rounds: int) -> list[RoundReport]:

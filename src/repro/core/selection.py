@@ -22,9 +22,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.sortition import (
-    PARTIAL_ROLE,
     REFEREE_ROLE,
-    partial_committee_of,
+    assign_partial_sets,
     rank_select,
     role_hash,
 )
@@ -43,6 +42,11 @@ class SelectionReport:
     next_leaders: list[str] = field(default_factory=list)
     next_partials: list[list[str]] = field(default_factory=list)
     rejected_pow: int = 0
+    #: True when PoW participation could not staff the next round's key
+    #: roles (only reachable under injected faults — partitions/churn can
+    #: cut PoW submissions off from the referee) and the incumbents were
+    #: held over for one round instead of aborting the run.
+    held_over: bool = False
     elapsed: float = 0.0
 
 
@@ -92,7 +96,14 @@ def run_selection(ctx: RoundContext) -> SelectionReport:
         else:
             report.rejected_pow += 1
 
-    lead_referee = ctx.referee[0]
+    # Collection must survive referee churn: submissions go to the first
+    # *online* referee member (identical to referee[0] in fault-free runs,
+    # so this changes nothing without fault injection).  Every referee
+    # member registers the handler, so any online target tallies.
+    online_referees = [rid for rid in ctx.referee if ctx.node(rid).online]
+    if not online_referees:
+        raise RuntimeError("entire referee committee offline during selection")
+    lead_referee = online_referees[0]
     for rid in ctx.referee:
         ctx.node(rid).on(Tags.POW_SOLUTION, on_solution)
     for node in ctx.nodes.values():
@@ -106,9 +117,21 @@ def run_selection(ctx: RoundContext) -> SelectionReport:
     # -- 3. next-round key roles ------------------------------------------------
     participants = list(report.participants)
     if len(participants) < params.referee_size + params.m * (1 + params.lam):
-        raise RuntimeError(
-            "not enough PoW participants to staff the next round's key roles"
-        )
+        # Unreachable fault-free (every online node submits and n covers
+        # the key-role demand by construction), but a partition or churn
+        # window can cut submissions off from the referee.  The run must
+        # degrade, not die: hold the incumbents over for one round and
+        # record it — the lottery resumes as soon as PoW flows again.
+        report.held_over = True
+        report.next_referee = [ctx.pk_of(rid) for rid in ctx.referee]
+        report.next_leaders = [
+            ctx.pk_of(spec.leader) for spec in ctx.committees
+        ]
+        report.next_partials = [
+            [ctx.pk_of(pid) for pid in spec.partial] for spec in ctx.committees
+        ]
+        report.elapsed = ctx.net.now - started
+        return report
     next_referee = rank_select(
         participants,
         ctx.round_number + 1,
@@ -131,20 +154,9 @@ def run_selection(ctx: RoundContext) -> SelectionReport:
     # Partial sets: uniform rank lottery, then committee assignment by
     # H(r+1 || R^r || PK || PARTIAL_SET_MEMBER) mod m, topped up in rank
     # order so every committee gets exactly λ.
-    ranked = rank_select(
-        pool, ctx.round_number + 1, randomness, PARTIAL_ROLE, len(pool)
+    partials = assign_partial_sets(
+        pool, ctx.round_number + 1, randomness, params.m, params.lam
     )
-    partials: list[list[str]] = [[] for _ in range(params.m)]
-    overflow: list[str] = []
-    for pk in ranked:
-        k = partial_committee_of(ctx.round_number + 1, randomness, pk, params.m)
-        if len(partials[k]) < params.lam:
-            partials[k].append(pk)
-        else:
-            overflow.append(pk)
-    for k in range(params.m):
-        while len(partials[k]) < params.lam and overflow:
-            partials[k].append(overflow.pop(0))
     report.next_referee = next_referee
     report.next_leaders = next_leaders
     report.next_partials = partials

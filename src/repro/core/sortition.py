@@ -18,6 +18,7 @@ orchestrator uses; the threshold form is kept and tested for fidelity.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -98,6 +99,35 @@ def partial_committee_of(
     """Which committee a selected partial member joins (§IV-F):
     ``H(r+1 || R_r || PK_i || PARTIAL_SET_MEMBER) mod m``."""
     return role_hash(round_number, randomness, pk, PARTIAL_ROLE) % m
+
+
+def assign_partial_sets(
+    pool: Sequence[str],
+    round_number: int,
+    randomness: bytes,
+    m: int,
+    lam: int,
+) -> list[list[str]]:
+    """Partial-set staffing (§IV-F): rank the pool with the partial-role
+    lottery, place each pick in its hash-assigned committee up to λ, and
+    top up underfull committees from the overflow in rank order.
+
+    Shared by the bootstrap assignment (round 1) and the selection phase
+    (every subsequent round) so the two can never drift.
+    """
+    ranked = rank_select(pool, round_number, randomness, PARTIAL_ROLE, len(pool))
+    partials: list[list[str]] = [[] for _ in range(m)]
+    overflow: deque[str] = deque()
+    for pk in ranked:
+        k = partial_committee_of(round_number, randomness, pk, m)
+        if len(partials[k]) < lam:
+            partials[k].append(pk)
+        else:
+            overflow.append(pk)
+    for k in range(m):
+        while len(partials[k]) < lam and overflow:
+            partials[k].append(overflow.popleft())
+    return partials
 
 
 def rank_select(

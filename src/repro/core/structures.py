@@ -89,6 +89,7 @@ class RoundContext:
     rewards: dict[str, float] = field(default_factory=dict)
     recoveries: list[RecoveryEvent] = field(default_factory=list)
     # Cross-phase artifacts
+    phase_reports: dict[str, Any] = field(default_factory=dict)
     semi_commitments: dict[int, bytes] = field(default_factory=dict)
     member_lists: dict[int, tuple] = field(default_factory=dict)
     intra_results: dict[int, Any] = field(default_factory=dict)

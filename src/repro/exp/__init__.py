@@ -21,7 +21,7 @@ with canonical JSON/CSV serialization.
     outcome.write_bench("BENCH_sweep.json")
 """
 
-from repro.exp.presets import CAPACITY_PRESETS, smoke_spec
+from repro.exp.presets import CAPACITY_PRESETS, scenario_compare_spec, smoke_spec
 from repro.exp.results import SweepResult
 from repro.exp.runner import PointTiming, Runner, SweepOutcome, run_point, run_sweep
 from repro.exp.spec import ExperimentSpec, SweepPoint, derive_point_seed
@@ -37,5 +37,6 @@ __all__ = [
     "derive_point_seed",
     "run_point",
     "run_sweep",
+    "scenario_compare_spec",
     "smoke_spec",
 ]

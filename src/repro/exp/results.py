@@ -74,6 +74,7 @@ _SUMMED_ROUND_FIELDS = (
     "recoveries",
     "messages",
     "bytes",
+    "dropped",
     "intra_accepted",
     "inter_accepted",
     "inter_voted",
@@ -91,6 +92,7 @@ def round_row(report: "RoundReport") -> dict[str, Any]:
         "recoveries": report.recoveries,
         "messages": report.messages,
         "bytes": report.bytes_sent,
+        "dropped": report.dropped,
         "sim_time": report.sim_time,
         "reliable_channels": report.reliable_channels,
         "block": report.block.hash.hex() if report.block else None,
@@ -192,6 +194,7 @@ _CSV_TOTAL_COLUMNS = (
     "recoveries",
     "messages",
     "bytes",
+    "dropped",
     "sim_time",
     "blocks",
     "reliable_channels",
@@ -199,14 +202,15 @@ _CSV_TOTAL_COLUMNS = (
 
 
 def write_csv(path: str, results: Iterable[SweepResult]) -> None:
-    """Flat one-row-per-point CSV (params as ``p_*``, adversary as ``a_*``)."""
+    """Flat one-row-per-point CSV (params as ``p_*``, adversary as ``a_*``;
+    the scenario/capacity axes ride along so arms stay distinguishable)."""
     results = sorted(results, key=lambda r: r.key)
     param_keys = sorted({k for r in results for k in r.point["params"]})
     adv_keys = sorted(
         {k for r in results for k in (r.point["adversary"] or {})}
     )
     header = (
-        ["key", "seed", "derived_seed"]
+        ["key", "seed", "derived_seed", "scenario", "capacity_preset"]
         + [f"p_{k}" for k in param_keys]
         + [f"a_{k}" for k in adv_keys]
         + list(_CSV_TOTAL_COLUMNS)
@@ -217,7 +221,13 @@ def write_csv(path: str, results: Iterable[SweepResult]) -> None:
     for r in results:
         adversary = r.point["adversary"] or {}
         writer.writerow(
-            [r.key, r.point["seed"], r.point["derived_seed"]]
+            [
+                r.key,
+                r.point["seed"],
+                r.point["derived_seed"],
+                r.point.get("scenario") or "",
+                r.point.get("capacity_preset") or "",
+            ]
             + [r.point["params"].get(k, "") for k in param_keys]
             + [adversary.get(k, "") for k in adv_keys]
             + [r.totals.get(col, "") for col in _CSV_TOTAL_COLUMNS]

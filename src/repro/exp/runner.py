@@ -77,6 +77,7 @@ class SweepOutcome:
             merged.update(point["adversary"] or {})
             merged["seed"] = point["seed"]
             merged["rounds"] = point["rounds"]
+            merged["scenario"] = point.get("scenario")
             if all(merged.get(k) == v for k, v in filters.items()):
                 out.append(result)
         return out
@@ -138,6 +139,7 @@ def run_point(point: SweepPoint) -> SweepResult:
     from repro.core.protocol import CycLedger
     from repro.exp.presets import CAPACITY_PRESETS
     from repro.nodes.adversary import AdversaryConfig
+    from repro.scenarios import SCENARIO_PRESETS
 
     params = ProtocolParams(**dict(point.params), seed=point.derived_seed)
     adversary = (
@@ -150,7 +152,12 @@ def run_point(point: SweepPoint) -> SweepResult:
         if point.capacity_preset is not None
         else None
     )
-    ledger = CycLedger(params, adversary=adversary, capacity_fn=capacity_fn)
+    scenario = (
+        SCENARIO_PRESETS[point.scenario] if point.scenario is not None else None
+    )
+    ledger = CycLedger(
+        params, adversary=adversary, capacity_fn=capacity_fn, scenario=scenario
+    )
     reports = ledger.run(point.rounds)
     return collect_result(ledger, reports, point.descriptor(), point.key)
 
@@ -165,6 +172,7 @@ def _pool_worker(payload: str) -> str:
         seed=desc["seed"],
         rounds=desc["rounds"],
         capacity_preset=desc["capacity_preset"],
+        scenario=desc["scenario"],
         derived_seed=desc["derived_seed"],
     )
     start = time.perf_counter()

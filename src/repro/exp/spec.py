@@ -84,6 +84,7 @@ class SweepPoint:
     seed: int  # the spec-level seed axis value
     rounds: int
     capacity_preset: str | None
+    scenario: str | None  # named fault-injection scenario, or fault-free
     derived_seed: int
 
     def descriptor(self) -> dict[str, Any]:
@@ -97,6 +98,7 @@ class SweepPoint:
             "seed": self.seed,
             "rounds": self.rounds,
             "capacity_preset": self.capacity_preset,
+            "scenario": self.scenario,
             "derived_seed": self.derived_seed,
         }
 
@@ -116,7 +118,11 @@ def derive_point_seed(
 
     Content-addressed (not index-addressed): reordering grid axes or adding
     sibling points never changes the seed an existing cell runs with, so
-    cached results stay valid across spec growth.
+    cached results stay valid across spec growth.  The scenario name is
+    deliberately *excluded*: fault-injected and fault-free arms of one
+    point run on the same protocol seed, so a scenario sweep is a paired
+    comparison (the delta is the fault, not seed noise); the scenario
+    still distinguishes the arms' cache keys via the descriptor.
     """
     material = canonical_json(
         {
@@ -140,6 +146,10 @@ class ExperimentSpec:
     ``derive_seeds=False`` the spec-level seed is used verbatim as
     ``ProtocolParams.seed`` (the historical benchmark behaviour); with the
     default ``True`` each point gets a content-derived seed.
+
+    ``scenario`` names one fault-injection preset applied to every point;
+    ``scenario_grid`` is a product axis of preset names (``None`` entries
+    mean fault-free) for comparing behaviour across fault timelines.
     """
 
     name: str
@@ -151,6 +161,8 @@ class ExperimentSpec:
     adversary_grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
     points: Sequence[Mapping[str, Any]] = ()
     capacity_preset: str | None = None
+    scenario: str | None = None
+    scenario_grid: Sequence[str | None] = ()
     derive_seeds: bool = True
 
     def __post_init__(self) -> None:
@@ -181,6 +193,17 @@ class ExperimentSpec:
                 raise ValueError(
                     f"unknown capacity preset {self.capacity_preset!r}"
                 )
+        if self.scenario is not None and self.scenario_grid:
+            raise ValueError("give scenario or scenario_grid, not both")
+        named_scenarios = [
+            s for s in (*self.scenario_grid, self.scenario) if s is not None
+        ]
+        if named_scenarios:
+            from repro.scenarios import SCENARIO_PRESETS
+
+            for name in named_scenarios:
+                if name not in SCENARIO_PRESETS:
+                    raise ValueError(f"unknown scenario preset {name!r}")
 
     # -- identity ----------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
@@ -196,6 +219,8 @@ class ExperimentSpec:
             ),
             "points": _jsonable([dict(p) for p in self.points]),
             "capacity_preset": self.capacity_preset,
+            "scenario": self.scenario,
+            "scenario_grid": _jsonable(list(self.scenario_grid)),
             "derive_seeds": self.derive_seeds,
         }
 
@@ -226,6 +251,7 @@ class ExperimentSpec:
             dict(zip([k for k, _ in adv_axes], values))
             for values in product(*(vs for _, vs in adv_axes))
         ]
+        scenarios = list(self.scenario_grid) or [self.scenario]
         out: list[SweepPoint] = []
         for point_overrides in explicit:
             for combo in param_combos:
@@ -237,25 +263,29 @@ class ExperimentSpec:
                     }
                     if not adversary:
                         adversary = None
-                    for seed in self.seeds:
-                        derived = (
-                            derive_point_seed(
-                                _jsonable(params),
-                                None if adversary is None else _jsonable(adversary),
-                                int(seed),
-                                self.rounds,
+                    for scenario in scenarios:
+                        for seed in self.seeds:
+                            derived = (
+                                derive_point_seed(
+                                    _jsonable(params),
+                                    None
+                                    if adversary is None
+                                    else _jsonable(adversary),
+                                    int(seed),
+                                    self.rounds,
+                                )
+                                if self.derive_seeds
+                                else int(seed)
                             )
-                            if self.derive_seeds
-                            else int(seed)
-                        )
-                        out.append(
-                            SweepPoint(
-                                params=params,
-                                adversary=adversary,
-                                seed=int(seed),
-                                rounds=self.rounds,
-                                capacity_preset=self.capacity_preset,
-                                derived_seed=derived,
+                            out.append(
+                                SweepPoint(
+                                    params=params,
+                                    adversary=adversary,
+                                    seed=int(seed),
+                                    rounds=self.rounds,
+                                    capacity_preset=self.capacity_preset,
+                                    scenario=scenario,
+                                    derived_seed=derived,
+                                )
                             )
-                        )
         return out

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 import numpy as np
 
@@ -66,6 +66,12 @@ class Network:
         self.delivered_messages = 0
         self.dropped_messages = 0
         self.drop_filter: Callable[[Message], bool] | None = None
+        # Fault-injection state (scenario layer): a node -> group map where
+        # crossing groups means the link is cut, plus time-windowed delay
+        # multipliers.  Both compose with drop_filter/adversarial_scheduler.
+        self._partition: dict[int, int] | None = None
+        self.partition_dropped = 0
+        self._degradations: list[tuple[float, float, float, frozenset[str] | None]] = []
 
     # -- wiring ------------------------------------------------------------
     def reset(self, metrics: MetricsCollector | None = None) -> None:
@@ -87,6 +93,9 @@ class Network:
         self.delivered_messages = 0
         self.dropped_messages = 0
         self.drop_filter = None
+        self._partition = None
+        self.partition_dropped = 0
+        self._degradations.clear()
 
     def add_node(self, node: "ProtocolNode") -> None:
         if node.node_id in self.nodes:
@@ -99,6 +108,68 @@ class Network:
     ) -> None:
         self.channel_classifier = classifier
 
+    # -- fault injection ---------------------------------------------------
+    def set_partitions(self, groups: "Iterable[Iterable[int]]") -> None:
+        """Cut the fabric into disjoint node groups.
+
+        Messages whose endpoints fall in different groups are silently
+        dropped (counted in ``dropped_messages``/``partition_dropped``);
+        nodes listed in no group form one implicit remainder group that can
+        still talk among itself.  Partitions sit *below* the topology: the
+        channel still exists, the packets just never arrive — which is
+        exactly how a WAN cut looks to the protocol.
+        """
+        mapping: dict[int, int] = {}
+        for group_id, group in enumerate(groups):
+            for node_id in group:
+                if node_id in mapping:
+                    raise ValueError(f"node {node_id} in two partition groups")
+                mapping[int(node_id)] = group_id
+        self._partition = mapping or None
+
+    def clear_partitions(self) -> None:
+        self._partition = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    def _crosses_partition(self, src: int, dst: int) -> bool:
+        if self._partition is None:
+            return False
+        return self._partition.get(src, -1) != self._partition.get(dst, -1)
+
+    def add_link_degradation(
+        self,
+        factor: float,
+        start: float = 0.0,
+        end: float = float("inf"),
+        channels: "Iterable[str] | None" = None,
+    ) -> None:
+        """Multiply sampled delays by ``factor`` for sends in the sim-time
+        window ``[start, end)``, optionally restricted to channel classes.
+
+        Unlike the adversarial scheduler this deliberately may violate the
+        paper's synchrony bounds (it models infrastructure faults, not the
+        in-model adversary), and it applies to every channel class given.
+        Degradations stack multiplicatively and are cleared by
+        :meth:`reset`.
+        """
+        if factor < 1.0:
+            raise ValueError("degradation factor must be >= 1")
+        self._degradations.append(
+            (start, end, float(factor), frozenset(channels) if channels else None)
+        )
+
+    def _degradation_factor(self, channel_class: str) -> float:
+        factor = 1.0
+        for start, end, multiplier, channels in self._degradations:
+            if start <= self.now < end and (
+                channels is None or channel_class in channels
+            ):
+                factor *= multiplier
+        return factor
+
     # -- latency model ----------------------------------------------------
     def _sample_delay(self, channel_class: str, message: Message | None = None) -> float:
         base = self.params.base_delay(channel_class)
@@ -106,6 +177,8 @@ class Network:
             return 0.0
         jitter = self.params.jitter
         delay = base * (1.0 - jitter * float(self.rng.random()))
+        if self._degradations:
+            delay *= self._degradation_factor(channel_class)
         if (
             channel_class == ChannelClass.PARTIAL
             and self.adversarial_scheduler is not None
@@ -135,6 +208,10 @@ class Network:
                     "does not provide this link (see §III-B)"
                 )
             channel = ChannelClass.PARTIAL
+        if self._crosses_partition(sender, recipient):
+            self.dropped_messages += 1
+            self.partition_dropped += 1
+            return
         nbytes = size if size is not None else payload_size(payload)
         message = Message(
             sender=sender,

@@ -22,8 +22,6 @@ import numpy as np
 from repro.nodes.behaviors import (
     BEHAVIOR_REGISTRY,
     Behavior,
-    ContraryVoter,
-    EquivocatingLeader,
     HonestBehavior,
 )
 
@@ -65,7 +63,10 @@ class AdversaryController:
         self.all_ids = list(node_ids)
         t = int(config.fraction * len(node_ids))
         corrupted = rng.choice(node_ids, size=t, replace=False) if t else []
-        self.corrupted: set[int] = set(int(x) for x in corrupted)
+        # Corruption order is remembered so fraction ramps can shrink the
+        # set deterministically (most recently corrupted nodes heal first).
+        self._corruption_order: list[int] = [int(x) for x in corrupted]
+        self.corrupted: set[int] = set(self._corruption_order)
         self.offline: set[int] = set(
             int(x)
             for x in self.rng.choice(
@@ -75,6 +76,9 @@ class AdversaryController:
             )
         ) if self.corrupted and config.offline_fraction > 0 else set()
         self._pending_corruptions: set[int] = set()
+        # Scenario-driven offline windows (crash/churn injection), replaced
+        # wholesale each round by the scenario driver.
+        self.forced_offline: set[int] = set()
 
     # -- membership --------------------------------------------------------
     def is_corrupted(self, node_id: int) -> bool:
@@ -100,7 +104,40 @@ class AdversaryController:
         return BEHAVIOR_REGISTRY[self.config.voter_strategy]()
 
     def is_offline(self, node_id: int) -> bool:
-        return node_id in self.offline
+        return node_id in self.offline or node_id in self.forced_offline
+
+    # -- scenario reconfiguration -------------------------------------------
+    def force_offline(self, node_ids: "set[int] | frozenset[int] | list[int]") -> None:
+        """Replace the injected offline set (crash/churn windows).
+
+        Unlike :attr:`offline` this is orthogonal to corruption: any node —
+        honest or Byzantine — can be knocked out by an infrastructure
+        fault.  Passing an empty collection ends the window.
+        """
+        self.forced_offline = {int(n) for n in node_ids}
+
+    def retarget_fraction(self, fraction: float) -> None:
+        """Mid-run corruption retargeting for adversary-fraction ramps.
+
+        Growing the target corrupts additional nodes drawn from the
+        controller's own RNG stream (deterministic per seed and call
+        sequence); shrinking heals the most recently corrupted first.  The
+        round-boundary call site preserves the paper's mild adaptivity —
+        corruption never changes inside a round.
+        """
+        if not (0.0 <= fraction <= 1.0):
+            raise ValueError("fraction must be in [0, 1]")
+        target = int(fraction * len(self.all_ids))
+        if target > len(self._corruption_order):
+            pool = sorted(set(self.all_ids) - set(self._corruption_order))
+            extra = self.rng.choice(
+                pool, size=target - len(self._corruption_order), replace=False
+            )
+            self._corruption_order.extend(int(x) for x in extra)
+        elif target < len(self._corruption_order):
+            del self._corruption_order[target:]
+        self.corrupted = set(self._corruption_order)
+        self.offline &= self.corrupted
 
     # -- mild adaptivity ----------------------------------------------------
     def request_corruption(self, node_ids: set[int]) -> None:
@@ -109,6 +146,8 @@ class AdversaryController:
         self._pending_corruptions |= set(node_ids)
 
     def advance_round(self) -> None:
+        for node_id in sorted(self._pending_corruptions - self.corrupted):
+            self._corruption_order.append(node_id)
         self.corrupted |= self._pending_corruptions
         self._pending_corruptions = set()
 

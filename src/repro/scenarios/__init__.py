@@ -1,0 +1,45 @@
+"""Scenario / fault-injection subsystem.
+
+Declarative, seed-deterministic fault timelines (network partitions,
+latency spikes, leader crashes, adversary-fraction ramps, node churn)
+applied to a running :class:`~repro.core.protocol.CycLedger` through its
+phase pipeline's hooks.
+
+    from repro import CycLedger, ProtocolParams
+    from repro.scenarios import SCENARIO_PRESETS
+
+    ledger = CycLedger(
+        ProtocolParams(n=48, m=4, lam=2, referee_size=8),
+        scenario=SCENARIO_PRESETS["partition-halves"],
+    )
+    reports = ledger.run(rounds=5)  # rounds 2-3 partitioned, then recovery
+"""
+
+from repro.scenarios.events import (
+    EVENT_TYPES,
+    HALVES,
+    AdversaryRamp,
+    Churn,
+    LatencySpike,
+    LeaderCrash,
+    Partition,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.scenarios.presets import SCENARIO_PRESETS
+from repro.scenarios.scenario import Scenario, ScenarioDriver
+
+__all__ = [
+    "EVENT_TYPES",
+    "HALVES",
+    "AdversaryRamp",
+    "Churn",
+    "LatencySpike",
+    "LeaderCrash",
+    "Partition",
+    "SCENARIO_PRESETS",
+    "Scenario",
+    "ScenarioDriver",
+    "event_from_dict",
+    "event_to_dict",
+]

@@ -98,3 +98,32 @@ def test_cli_run_small(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "chain 1 blocks" in out and "valid=True" in out
+
+
+def test_cli_scenario_list(capsys):
+    assert main(["scenario", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "partition-halves" in out and "churn" in out
+
+
+def test_cli_scenario_unknown_preset():
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["scenario", "--preset", "no-such-scenario"])
+
+
+def test_cli_scenario_run_deterministic_json(tmp_path, capsys):
+    args = [
+        "scenario", "--preset", "leader-crash", "--n", "24", "--m", "2",
+        "--lam", "2", "--referee", "6", "--users", "12", "--txs", "4",
+        "--rounds", "3", "--verbose",
+    ]
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    assert main([*args, "--json", str(first)]) == 0
+    out = capsys.readouterr().out
+    assert "scenario 'leader-crash'" in out
+    assert "crash leader-elect" in out
+    assert main([*args, "--json", str(second)]) == 0
+    assert first.read_bytes() == second.read_bytes()

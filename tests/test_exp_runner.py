@@ -206,6 +206,47 @@ def test_capacity_preset_round_trip():
     assert capacities == {2, 5, 10_000}
 
 
+def test_scenario_axis_expands_and_runs():
+    spec = ExperimentSpec(
+        name="scenario-axis",
+        rounds=4,
+        seeds=(0,),
+        base={
+            "n": 24,
+            "m": 2,
+            "lam": 2,
+            "referee_size": 6,
+            "users_per_shard": 8,
+            "tx_per_committee": 3,
+        },
+        scenario_grid=(None, "partition-halves"),
+    )
+    points = spec.expand()
+    assert [p.scenario for p in points] == [None, "partition-halves"]
+    # The scenario distinguishes the arms' cache keys, but both arms run
+    # the SAME protocol seed — scenario sweeps are paired comparisons.
+    assert points[0].derived_seed == derive_point_seed(
+        dict(points[0].params), None, 0, 4
+    )
+    assert points[0].derived_seed == points[1].derived_seed
+    assert points[0].key != points[1].key
+
+    outcome = run_sweep(spec, workers=1)
+    clean = outcome.one(scenario=None)
+    cut = outcome.one(scenario="partition-halves")
+    assert clean.totals["dropped"] == 0
+    assert cut.totals["dropped"] > 0
+
+
+def test_spec_rejects_unknown_scenario():
+    with pytest.raises(ValueError):
+        ExperimentSpec(name="bad", seeds=(0,), scenario="no-such-preset")
+    with pytest.raises(ValueError):
+        ExperimentSpec(
+            name="bad", seeds=(0,), scenario="churn", scenario_grid=("churn",)
+        )
+
+
 # -- CLI --------------------------------------------------------------------
 def test_cli_sweep_smoke(tmp_path, capsys):
     out = tmp_path / "results.json"

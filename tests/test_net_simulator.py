@@ -162,6 +162,51 @@ def test_event_budget_guard(rng):
         net.run()
 
 
+def test_reset_rewinds_fabric_but_keeps_nodes(net_and_nodes):
+    from repro.metrics.counters import MetricsCollector
+
+    net, nodes = net_and_nodes
+    net.drop_filter = lambda msg: True
+    net.adversarial_scheduler = lambda msg: 2.0
+    net.set_partitions([(0, 1), (2, 3)])
+    net.add_link_degradation(3.0)
+    nodes[0].send(1, "MSG", "dropped")
+    nodes[0].send(2, "MSG", "partitioned")
+    net.call_after(50.0, lambda: None)
+    assert net.pending == 1 and net.dropped_messages == 2
+
+    fresh_metrics = MetricsCollector()
+    net.reset(metrics=fresh_metrics)
+    assert net.now == 0.0
+    assert net.pending == 0
+    assert net.metrics is fresh_metrics
+    assert net.dropped_messages == 0
+    assert net.partition_dropped == 0
+    assert net.drop_filter is None
+    assert net.adversarial_scheduler is None
+    assert not net.partitioned
+    # Registry intact and the classifier back to the permissive default:
+    # a previously partitioned pair delivers again.
+    nodes[0].send(2, "MSG", "after-reset")
+    net.run()
+    assert [m.payload for m in nodes[2].received] == ["after-reset"]
+
+
+def test_adversarial_scheduler_stretch_clamped_below_one(rng):
+    """A scheduler cannot *accelerate* partial channels: stretches under
+    1.0 clamp to the honest base delay."""
+    pki = PKI()
+    params = NetworkParams(jitter=0.0)
+    net = Network(params, rng)
+    nodes = [Recorder(i, pki.generate(400 + i)) for i in range(2)]
+    for node in nodes:
+        net.add_node(node)
+    net.set_channel_classifier(lambda s, d: ChannelClass.PARTIAL)
+    net.adversarial_scheduler = lambda msg: 0.01
+    nodes[0].send(1, "MSG", "x")
+    assert net.run() == pytest.approx(params.partial_base)
+
+
 def test_adversarial_scheduler_stretches_partial_only(rng):
     pki = PKI()
     params = NetworkParams(jitter=0.0)
@@ -184,3 +229,77 @@ def test_drop_filter(net_and_nodes):
     net.run()
     assert [m.payload for m in nodes[1].received] == ["keep"]
     assert net.dropped_messages == 1
+
+
+# -- fault injection: partitions and degradations ----------------------------
+def test_partition_cuts_cross_group_links_only(net_and_nodes):
+    net, nodes = net_and_nodes
+    net.set_partitions([(0, 1), (2,)])
+    nodes[0].send(1, "MSG", "same-group")
+    nodes[0].send(2, "MSG", "cross-group")
+    nodes[2].send(0, "MSG", "cross-back")
+    net.run()
+    assert [m.payload for m in nodes[1].received] == ["same-group"]
+    assert nodes[2].received == []
+    assert nodes[0].received == []
+    assert net.partition_dropped == 2
+    assert net.dropped_messages == 2
+    net.clear_partitions()
+    nodes[0].send(2, "MSG", "healed")
+    net.run()
+    assert [m.payload for m in nodes[2].received] == ["healed"]
+
+
+def test_unlisted_nodes_form_implicit_remainder_group(net_and_nodes):
+    net, nodes = net_and_nodes
+    net.set_partitions([(0,)])
+    nodes[2].send(3, "MSG", "rest-to-rest")
+    nodes[2].send(0, "MSG", "rest-to-island")
+    net.run()
+    assert [m.payload for m in nodes[3].received] == ["rest-to-rest"]
+    assert nodes[0].received == []
+
+
+def test_partition_rejects_overlapping_groups(net_and_nodes):
+    net, _ = net_and_nodes
+    with pytest.raises(ValueError):
+        net.set_partitions([(0, 1), (1, 2)])
+
+
+def test_link_degradation_window_and_channel_filter(rng):
+    pki = PKI()
+    net = Network(NetworkParams(jitter=0.0), rng)
+    nodes = [Recorder(i, pki.generate(500 + i)) for i in range(2)]
+    for node in nodes:
+        net.add_node(node)
+    net.set_channel_classifier(lambda s, d: ChannelClass.INTRA)
+    net.add_link_degradation(5.0, start=0.0, end=10.0,
+                             channels=(ChannelClass.INTRA,))
+    nodes[0].send(1, "MSG", "slow")  # sent at t=0: degraded 5x
+    t = net.run()
+    assert t == pytest.approx(5 * net.params.delta)
+    net.call_at(20.0, lambda: nodes[0].send(1, "MSG", "fast"))
+    t = net.run()  # sent at t=20, outside the window: normal delay
+    assert t == pytest.approx(20.0 + net.params.delta)
+    net.add_link_degradation(2.0, channels=(ChannelClass.KEY,))
+    nodes[0].send(1, "MSG", "other-class")  # INTRA unaffected by KEY spike
+    assert net.run() == pytest.approx(t + net.params.delta)
+
+
+def test_degradations_stack_multiplicatively(rng):
+    pki = PKI()
+    net = Network(NetworkParams(jitter=0.0), rng)
+    nodes = [Recorder(i, pki.generate(600 + i)) for i in range(2)]
+    for node in nodes:
+        net.add_node(node)
+    net.set_channel_classifier(lambda s, d: ChannelClass.INTRA)
+    net.add_link_degradation(2.0)
+    net.add_link_degradation(3.0)
+    nodes[0].send(1, "MSG", "x")
+    assert net.run() == pytest.approx(6 * net.params.delta)
+
+
+def test_degradation_factor_below_one_rejected(net_and_nodes):
+    net, _ = net_and_nodes
+    with pytest.raises(ValueError):
+        net.add_link_degradation(0.5)
