@@ -16,8 +16,12 @@ IPDPS 2020, arXiv:2001.06778), including every substrate the paper assumes:
   re-selection (Alg. 6), selection, block generation;
 * :mod:`repro.nodes` — honest and Byzantine behaviour strategies plus the
   mildly-adaptive adversary controller;
-* :mod:`repro.baselines` — Elastico/OmniLedger/RapidChain models for the
-  Table I comparison;
+* :mod:`repro.baselines` — Elastico/OmniLedger/RapidChain analytic models
+  for the Table I comparison;
+* :mod:`repro.backends` — the executable multi-protocol layer: CycLedger
+  plus simplified RapidChain/OmniLedger backends behind one
+  ``LedgerBackend`` registry, so sweeps, scenarios and benchmarks run any
+  protocol head-to-head;
 * :mod:`repro.analysis` — the closed-form security/complexity/incentive
   math (Eq. 1–4, Fig. 4–5, Tables I–II);
 * :mod:`repro.exp` — the parallel experiment engine: declarative
@@ -37,14 +41,18 @@ Quickstart::
 
 from repro.core.config import ProtocolParams
 from repro.core.pipeline import Phase, PhasePipeline
+from repro.backends import BACKEND_REGISTRY, LedgerBackend, create_backend
 from repro.core.protocol import CycLedger, RoundReport, build_default_pipeline
 from repro.nodes.adversary import AdversaryConfig, AdversaryController
 from repro.scenarios import SCENARIO_PRESETS, Scenario
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "BACKEND_REGISTRY",
     "CycLedger",
+    "LedgerBackend",
+    "create_backend",
     "Phase",
     "PhasePipeline",
     "ProtocolParams",

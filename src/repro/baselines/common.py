@@ -7,8 +7,22 @@ from dataclasses import dataclass
 import numpy as np
 
 
+def as_float(value):
+    """Scalar-in/scalar-out, array-in/array-out normalization.
+
+    The quantitative Table I rows are numpy expressions, so the same model
+    method serves both the single-configuration table (floats) and the
+    vectorized n-grid scaling curves (arrays) without per-point loops.
+    """
+    arr = np.asarray(value, dtype=float)
+    return arr if arr.ndim else float(arr)
+
+
 class ProtocolModel:
-    """Analytical profile of one sharding protocol (one Table I column)."""
+    """Analytical profile of one sharding protocol (one Table I column).
+
+    The quantitative methods accept scalars or numpy arrays for ``n``/``c``
+    and return a matching float or array (see :func:`as_float`)."""
 
     name: str = "abstract"
     #: Max tolerated malicious fraction (Table I "Resiliency" row).

@@ -9,8 +9,10 @@ not an all-honest-pairs clique).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.analysis.security import partial_set_failure, round_failure_cycledger
-from repro.baselines.common import ProtocolModel
+from repro.baselines.common import ProtocolModel, as_float
 from repro.net.topology import cycledger_channel_count
 
 
@@ -22,14 +24,17 @@ class CycLedgerModel(ProtocolModel):
     has_incentives = True
     connection_burden = "light"
 
-    def complexity_messages(self, n: int, m: int, c: int) -> float:
-        return float(n)
+    def complexity_messages(self, n, m, c):
+        return as_float(n)
 
-    def storage(self, n: int, m: int, c: int) -> float:
-        return float(m * m / max(n, 1) + c)
+    def storage(self, n, m, c):
+        return as_float(
+            m * m / np.maximum(np.asarray(n, dtype=float), 1.0)
+            + np.asarray(c, dtype=float)
+        )
 
-    def fail_probability(self, m: int, c: int, lam: int) -> float:
-        return float(round_failure_cycledger(m, c, lam))
+    def fail_probability(self, m, c, lam):
+        return as_float(round_failure_cycledger(m, c, lam))
 
     def connection_channels(
         self, n: int, m: int, c: int, lam: int, cr: int

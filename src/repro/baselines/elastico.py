@@ -9,7 +9,7 @@ probability is 97% over only 6 epochs" (§II-A).
 from __future__ import annotations
 
 from repro.analysis.security import round_failure_elastico
-from repro.baselines.common import ProtocolModel
+from repro.baselines.common import ProtocolModel, as_float
 
 
 class ElasticoModel(ProtocolModel):
@@ -23,14 +23,14 @@ class ElasticoModel(ProtocolModel):
     #: The committee size Elastico actually ran with.
     TYPICAL_COMMITTEE = 100
 
-    def complexity_messages(self, n: int, m: int, c: int) -> float:
-        return float(n)  # Ω(n)
+    def complexity_messages(self, n, m, c):
+        return as_float(n)  # Ω(n)
 
-    def storage(self, n: int, m: int, c: int) -> float:
-        return float(n)  # full replication
+    def storage(self, n, m, c):
+        return as_float(n)  # full replication
 
-    def fail_probability(self, m: int, c: int, lam: int) -> float:
-        return float(round_failure_elastico(m, c))
+    def fail_probability(self, m, c, lam):
+        return as_float(round_failure_elastico(m, c))
 
     def epoch_failure(self, m: int, c: int, epochs: int) -> float:
         """Failure probability over several epochs (the 97%/6-epochs claim)."""

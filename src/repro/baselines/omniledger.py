@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.security import round_failure_omniledger
-from repro.baselines.common import ProtocolModel
+from repro.baselines.common import ProtocolModel, as_float
 
 
 class OmniLedgerModel(ProtocolModel):
@@ -23,11 +23,11 @@ class OmniLedgerModel(ProtocolModel):
     has_incentives = False
     connection_burden = "heavy"
 
-    def complexity_messages(self, n: int, m: int, c: int) -> float:
-        return float(n)
+    def complexity_messages(self, n, m, c):
+        return as_float(n)
 
-    def storage(self, n: int, m: int, c: int) -> float:
-        return float(c + np.log(max(m, 2)))
+    def storage(self, n, m, c):
+        return as_float(np.asarray(c, dtype=float) + np.log(max(m, 2)))
 
-    def fail_probability(self, m: int, c: int, lam: int) -> float:
-        return float(round_failure_omniledger(m, c))
+    def fail_probability(self, m, c, lam):
+        return as_float(round_failure_omniledger(m, c))

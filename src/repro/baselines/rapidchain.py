@@ -11,7 +11,7 @@ transactions may hardly be included in a block." (§II-A)
 from __future__ import annotations
 
 from repro.analysis.security import round_failure_rapidchain
-from repro.baselines.common import ProtocolModel
+from repro.baselines.common import ProtocolModel, as_float
 
 
 class RapidChainModel(ProtocolModel):
@@ -22,11 +22,11 @@ class RapidChainModel(ProtocolModel):
     has_incentives = False
     connection_burden = "heavy"
 
-    def complexity_messages(self, n: int, m: int, c: int) -> float:
-        return float(n)
+    def complexity_messages(self, n, m, c):
+        return as_float(n)
 
-    def storage(self, n: int, m: int, c: int) -> float:
-        return float(c)
+    def storage(self, n, m, c):
+        return as_float(c)
 
-    def fail_probability(self, m: int, c: int, lam: int) -> float:
-        return float(round_failure_rapidchain(m, c))
+    def fail_probability(self, m, c, lam):
+        return as_float(round_failure_rapidchain(m, c))

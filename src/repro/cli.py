@@ -5,6 +5,7 @@ Commands
 run        simulate CycLedger rounds and print per-round results
 scenario   run a fault-injection scenario preset (or list presets)
 sweep      run a parameter sweep on the parallel experiment engine
+backends   list the executable protocol backends (or run one directly)
 failure    print the Fig. 5 failure-probability table/plot
 table1     print the Table I protocol comparison
 gx         print the Fig. 4 g(x) curve
@@ -162,6 +163,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         point = result.point
         print(
             f"[{done:>3}/{total}] {result.key[:12]}  "
+            f"backend={point.get('backend', 'cycledger'):<14} "
             f"packed={result.totals['packed']:<5} "
             f"recoveries={result.totals['recoveries']:<3} "
             f"params={point['params']} adversary={point['adversary']}",
@@ -216,6 +218,9 @@ def _build_sweep_spec(args: argparse.Namespace):
                 None if s in ("none", "") else s
                 for s in args.scenarios.split(",")
             )
+        backend_grid: tuple = ()
+        if args.backends:
+            backend_grid = tuple(args.backends.split(","))
         spec = ExperimentSpec(
             name=args.name,
             rounds=args.rounds,
@@ -226,6 +231,8 @@ def _build_sweep_spec(args: argparse.Namespace):
             capacity_preset=args.capacity_preset,
             scenario=args.scenario,
             scenario_grid=scenario_grid,
+            backend=args.backend,
+            backend_grid=backend_grid,
         )
     # Construct every point's ProtocolParams/AdversaryConfig up front so bad
     # combinations (e.g. n - referee_size not divisible by m, or an
@@ -238,6 +245,36 @@ def _build_sweep_spec(args: argparse.Namespace):
         if point.adversary is not None:
             AdversaryConfig(**dict(point.adversary))
     return spec
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro.backends import BACKEND_REGISTRY, create_backend
+
+    if args.run is None:
+        for name, info in sorted(BACKEND_REGISTRY.items()):
+            print(f"{name:<16} {info.description}")
+        return 0
+    from repro.core.config import ProtocolParams
+
+    try:
+        params = ProtocolParams(
+            n=args.n, m=args.m, lam=args.lam, referee_size=args.referee,
+            seed=args.seed, users_per_shard=args.users,
+            tx_per_committee=args.txs, cross_shard_ratio=args.cross,
+            invalid_ratio=args.invalid,
+        )
+        ledger = create_backend(args.run, params)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    print(f"backend '{args.run}', {args.rounds} rounds, seed {args.seed}")
+    print(f"{'round':>5} {'packed':>6} {'cross':>5} {'msgs':>8} {'time':>7}")
+    for report in ledger.run(args.rounds):
+        print(f"{report.round_number:>5} {report.packed:>6} "
+              f"{report.cross_packed:>5} {report.messages:>8} "
+              f"{report.sim_time:>7.1f}")
+    print(f"chain {len(ledger.chain)} blocks, valid={ledger.chain.verify()}, "
+          f"{ledger.total_packed()} transactions")
+    return 0
 
 
 def _cmd_failure(args: argparse.Namespace) -> int:
@@ -361,6 +398,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--scenarios", default=None,
                        help="comma-separated scenario axis; 'none' for the "
                             "fault-free arm (e.g. none,partition-halves,churn)")
+    sweep.add_argument("--backend", default="cycledger",
+                       help="executable protocol backend for every point "
+                            "(see 'repro backends')")
+    sweep.add_argument("--backends", default=None,
+                       help="comma-separated backend axis for head-to-head "
+                            "protocol comparison (e.g. "
+                            "cycledger,rapidchain,omniledger_sim)")
     sweep.add_argument("--workers", type=int, default=None,
                        help="worker processes (default: cpu count)")
     sweep.add_argument("--serial", action="store_true",
@@ -374,6 +418,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--smoke", action="store_true",
                        help="run the canned CI smoke spec (ignores grid args)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    backends = sub.add_parser(
+        "backends", help="list executable protocol backends (or run one)"
+    )
+    backends.add_argument("--run", default=None, metavar="NAME",
+                          help="run this backend instead of listing")
+    backends.add_argument("--rounds", type=int, default=3)
+    backends.add_argument("--n", type=int, default=48)
+    backends.add_argument("--m", type=int, default=4)
+    backends.add_argument("--lam", type=int, default=2)
+    backends.add_argument("--referee", type=int, default=8)
+    backends.add_argument("--seed", type=int, default=0)
+    backends.add_argument("--users", type=int, default=24)
+    backends.add_argument("--txs", type=int, default=6)
+    backends.add_argument("--cross", type=float, default=0.3)
+    backends.add_argument("--invalid", type=float, default=0.1)
+    backends.set_defaults(func=_cmd_backends)
 
     failure = sub.add_parser("failure", help="Fig. 5 failure probabilities")
     failure.add_argument("--n", type=int, default=2000)

@@ -21,7 +21,6 @@ from repro.core.committee import ConfigReport, run_committee_configuration
 from repro.core.config import ProtocolParams
 from repro.core.inter import InterReport, run_inter_consensus
 from repro.core.intra import IntraReport, run_intra_consensus
-from repro.core.node import CycNode
 from repro.core.pipeline import Phase, PhasePipeline
 from repro.core.reputation import ReputationReport, run_reputation_updating
 from repro.core.selection import SelectionReport, run_selection
@@ -34,14 +33,10 @@ from repro.core.sortition import (
 )
 from repro.core.structures import CommitteeSpec, RoundContext
 from repro.crypto.hashing import H
-from repro.crypto.pki import PKI
-from repro.ledger.chain import Block, Chain
-from repro.ledger.state import ShardState
-from repro.ledger.workload import WorkloadGenerator
+from repro.ledger.chain import Block
 from repro.metrics.counters import MetricsCollector
-from repro.net.simulator import Network
 from repro.net.topology import Channels, build_cycledger_topology
-from repro.nodes.adversary import AdversaryConfig, AdversaryController
+from repro.nodes.adversary import AdversaryConfig
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.scenarios.scenario import Scenario
@@ -110,6 +105,46 @@ class RoundReport:
     phase_sim_times: dict[str, float] = field(default_factory=dict)
     recovery_times: tuple[float, ...] = ()
 
+    # -- flat report contract (repro.backends.base.SimRoundReport) -----------
+    # Every executable backend's reports expose these attributes, so the
+    # serialization layer (repro.exp.results.round_row) never dispatches on
+    # the backend type; here they derive from the per-phase reports.
+    @property
+    def intra_accepted(self) -> int:
+        return sum(len(txs) for txs in self.intra.accepted_by_cr.values())
+
+    @property
+    def inter_accepted(self) -> int:
+        return sum(len(txs) for txs in self.inter.accepted.values())
+
+    @property
+    def inter_voted(self) -> int:
+        return sum(len(r.txs) for r in self.inter.send_rounds.values())
+
+    @property
+    def prefilter_savings(self) -> int:
+        return self.inter.prefilter_savings
+
+    @property
+    def intra_elapsed(self) -> float:
+        return self.intra.elapsed
+
+    @property
+    def inter_elapsed(self) -> float:
+        return self.inter.elapsed
+
+    @property
+    def blockgen_elapsed(self) -> float:
+        return self.blockgen.elapsed
+
+    @property
+    def blockgen_subblocks(self) -> int:
+        return self.blockgen.parallel_subblocks
+
+    @property
+    def blockgen_width(self) -> int:
+        return self.blockgen.parallel_width
+
 
 class CycLedger:
     """A running CycLedger deployment.
@@ -120,6 +155,9 @@ class CycLedger:
     3
     """
 
+    #: registry name in :mod:`repro.backends` (the first LedgerBackend)
+    backend_name = "cycledger"
+
     def __init__(
         self,
         params: ProtocolParams,
@@ -128,62 +166,17 @@ class CycLedger:
         scenario: "Scenario | None" = None,
         pipeline: PhasePipeline | None = None,
     ) -> None:
+        # Local import: repro.backends.base builds on core modules and must
+        # stay importable before this one finishes loading.
+        from repro.backends.base import attach_pipeline, init_shared_state
+
         self.params = params
-        # One root seed fans out into independent, order-insensitive
-        # sub-streams: protocol-phase draws, the workload generator, the
-        # adversary's corruption lottery, network jitter, and scenario
-        # event draws each own a spawned child.  Identical seeds therefore
-        # give identical RoundReports even when one component changes how
-        # many draws it makes (e.g. a different jitter model can no longer
-        # perturb which nodes the adversary corrupts, and attaching a
-        # scenario cannot shift any other stream).
-        root_ss = np.random.SeedSequence(params.seed)
-        proto_ss, workload_ss, adversary_ss, net_ss, scenario_ss = root_ss.spawn(5)
-        self.rng = np.random.default_rng(proto_ss)
-        self.net_rng = np.random.default_rng(net_ss)
-        self.pki = PKI()
-        self.metrics = MetricsCollector()  # cumulative across rounds
-        self.nodes: dict[int, CycNode] = {}
-        for node_id in range(params.n):
-            capacity = (
-                capacity_fn(node_id, self.rng) if capacity_fn is not None else 10_000
-            )
-            self.nodes[node_id] = CycNode(
-                node_id,
-                self.pki.generate(("cycledger", params.seed, node_id)),
-                capacity=capacity,
-            )
-        # pk -> node id, built once: _node_id is called inside per-round
-        # role-assignment loops, where a linear scan over all nodes is O(n²).
-        self._pk_to_id = {node.pk: node.node_id for node in self.nodes.values()}
-        self.adversary = AdversaryController(
-            adversary if adversary is not None else AdversaryConfig(),
-            list(self.nodes),
-            np.random.default_rng(adversary_ss),
-        )
-        self.workload = WorkloadGenerator(
-            m=params.m,
-            users_per_shard=params.users_per_shard,
-            rng=np.random.default_rng(workload_ss),
-        )
-        # The network fabric and channel maps are built once and rewound
-        # per round (reset / in-place topology refill) instead of being
-        # reallocated — together with the shared PKI this keeps the
-        # per-round hot path allocation-light.
-        self.net = Network(params.net, self.net_rng)
-        for node in self.nodes.values():
-            self.net.add_node(node)
-        self._channels: Channels | None = None
-        self.global_utxos = self.workload.genesis_utxos()
-        self.shard_states = [ShardState(k, params.m) for k in range(params.m)]
-        for state in self.shard_states:
-            state.add_genesis(self.workload.genesis_tx)
-        self.chain = Chain()
-        self.reputation: dict[str, float] = {
-            node.pk: 0.0 for node in self.nodes.values()
-        }
-        self.rewards: dict[str, float] = {}
-        self.round_number = 1
+        # All common state — node population, RNG sub-stream fan-out
+        # (protocol / workload / adversary / jitter / scenario), network,
+        # genesis staging — comes from the one shared constructor every
+        # executable backend uses, so backend arms of a sweep point share
+        # streams by construction (the seed-pairing contract).
+        scenario_ss = init_shared_state(self, params, adversary, capacity_fn)
         self.randomness = H("GENESIS_RANDOMNESS", params.seed)
         # Round 1 key roles: uniform lotteries over all nodes (no reputation
         # yet, so the leader rule degenerates to the hash rank too).
@@ -198,34 +191,9 @@ class CycLedger:
             pool, 1, self.randomness, params.m, params.lam
         )
         self.reports: list[RoundReport] = []
-        if pipeline is not None:
-            # Scenario hooks fire on *every* ledger that runs the pipeline,
-            # so a pipeline may never be shared between a scenario-bearing
-            # ledger and any other — in either construction order.
-            if pipeline.scenario_driver is not None:
-                raise ValueError(
-                    "pipeline is already bound to a scenario-bearing "
-                    "ledger; build a fresh pipeline per ledger"
-                )
-            if scenario is not None and pipeline.owner is not None:
-                raise ValueError(
-                    "pipeline is already in use by another ledger; a "
-                    "scenario needs a dedicated pipeline"
-                )
-        self.pipeline = pipeline if pipeline is not None else build_default_pipeline()
-        if self.pipeline.owner is None:
-            self.pipeline.owner = self
-        self.scenario = scenario
-        self.scenario_driver = None
-        if scenario is not None:
-            # Local import: repro.scenarios builds on the pipeline and net
-            # layers and must stay importable without the orchestrator.
-            from repro.scenarios.scenario import ScenarioDriver
-
-            self.scenario_driver = ScenarioDriver(
-                scenario, np.random.default_rng(scenario_ss)
-            )
-            self.scenario_driver.install(self)
+        attach_pipeline(
+            self, pipeline, scenario, scenario_ss, build_default_pipeline
+        )
 
     # -- helpers ------------------------------------------------------------
     def _node_id(self, pk: str) -> int:

@@ -21,13 +21,19 @@ with canonical JSON/CSV serialization.
     outcome.write_bench("BENCH_sweep.json")
 """
 
-from repro.exp.presets import CAPACITY_PRESETS, scenario_compare_spec, smoke_spec
+from repro.exp.presets import (
+    CAPACITY_PRESETS,
+    backend_compare_spec,
+    scenario_compare_spec,
+    smoke_spec,
+)
 from repro.exp.results import SweepResult
 from repro.exp.runner import PointTiming, Runner, SweepOutcome, run_point, run_sweep
 from repro.exp.spec import ExperimentSpec, SweepPoint, derive_point_seed
 
 __all__ = [
     "CAPACITY_PRESETS",
+    "backend_compare_spec",
     "ExperimentSpec",
     "PointTiming",
     "Runner",

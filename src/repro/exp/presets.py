@@ -62,6 +62,29 @@ def scenario_compare_spec() -> ExperimentSpec:
     )
 
 
+def backend_compare_spec() -> ExperimentSpec:
+    """CycLedger vs the executable rivals, head-to-head and seed-paired:
+    every backend runs the same workload, adversary lottery and network
+    jitter streams, with a 1/3 adversary arm so the dishonest-leader
+    contrast (Table I) shows up in executable numbers."""
+    return ExperimentSpec(
+        name="backend-compare",
+        rounds=4,
+        seeds=(0,),
+        base={
+            "n": 48,
+            "m": 4,
+            "lam": 2,
+            "referee_size": 8,
+            "users_per_shard": 24,
+            "tx_per_committee": 6,
+            "cross_shard_ratio": 0.3,
+        },
+        adversary_grid={"fraction": (0.0, 0.33)},
+        backend_grid=("cycledger", "rapidchain", "omniledger_sim"),
+    )
+
+
 def smoke_spec() -> ExperimentSpec:
     """The CI smoke sweep: a tiny 2×2 grid (shard count × adversary
     fraction) that exercises the full protocol, the process pool, and the

@@ -83,7 +83,14 @@ _SUMMED_ROUND_FIELDS = (
 
 
 def round_row(report: "RoundReport") -> dict[str, Any]:
-    """Flatten one :class:`RoundReport` into a JSON-ready row."""
+    """Flatten one round report into a JSON-ready row.
+
+    Reads only the *flat* report contract (see
+    :class:`repro.backends.base.SimRoundReport`), which every executable
+    backend's reports satisfy — CycLedger's :class:`RoundReport` derives
+    the detail counters from its per-phase reports, the rival backends
+    fill them directly — so serialization never dispatches on the backend.
+    """
     return {
         "round": report.round_number,
         "submitted": report.submitted,
@@ -96,19 +103,15 @@ def round_row(report: "RoundReport") -> dict[str, Any]:
         "sim_time": report.sim_time,
         "reliable_channels": report.reliable_channels,
         "block": report.block.hash.hex() if report.block else None,
-        "intra_accepted": sum(
-            len(txs) for txs in report.intra.accepted_by_cr.values()
-        ),
-        "inter_accepted": sum(len(txs) for txs in report.inter.accepted.values()),
-        "inter_voted": sum(
-            len(r.txs) for r in report.inter.send_rounds.values()
-        ),
-        "prefilter_savings": report.inter.prefilter_savings,
-        "intra_elapsed": report.intra.elapsed,
-        "inter_elapsed": report.inter.elapsed,
-        "blockgen_elapsed": report.blockgen.elapsed,
-        "blockgen_subblocks": report.blockgen.parallel_subblocks,
-        "blockgen_width": report.blockgen.parallel_width,
+        "intra_accepted": report.intra_accepted,
+        "inter_accepted": report.inter_accepted,
+        "inter_voted": report.inter_voted,
+        "prefilter_savings": report.prefilter_savings,
+        "intra_elapsed": report.intra_elapsed,
+        "inter_elapsed": report.inter_elapsed,
+        "blockgen_elapsed": report.blockgen_elapsed,
+        "blockgen_subblocks": report.blockgen_subblocks,
+        "blockgen_width": report.blockgen_width,
     }
 
 
@@ -203,14 +206,15 @@ _CSV_TOTAL_COLUMNS = (
 
 def write_csv(path: str, results: Iterable[SweepResult]) -> None:
     """Flat one-row-per-point CSV (params as ``p_*``, adversary as ``a_*``;
-    the scenario/capacity axes ride along so arms stay distinguishable)."""
+    the backend/scenario/capacity axes ride along so arms stay
+    distinguishable)."""
     results = sorted(results, key=lambda r: r.key)
     param_keys = sorted({k for r in results for k in r.point["params"]})
     adv_keys = sorted(
         {k for r in results for k in (r.point["adversary"] or {})}
     )
     header = (
-        ["key", "seed", "derived_seed", "scenario", "capacity_preset"]
+        ["key", "seed", "derived_seed", "backend", "scenario", "capacity_preset"]
         + [f"p_{k}" for k in param_keys]
         + [f"a_{k}" for k in adv_keys]
         + list(_CSV_TOTAL_COLUMNS)
@@ -225,6 +229,7 @@ def write_csv(path: str, results: Iterable[SweepResult]) -> None:
                 r.key,
                 r.point["seed"],
                 r.point["derived_seed"],
+                r.point.get("backend", "cycledger"),
                 r.point.get("scenario") or "",
                 r.point.get("capacity_preset") or "",
             ]

@@ -78,6 +78,7 @@ class SweepOutcome:
             merged["seed"] = point["seed"]
             merged["rounds"] = point["rounds"]
             merged["scenario"] = point.get("scenario")
+            merged["backend"] = point.get("backend", "cycledger")
             if all(merged.get(k) == v for k, v in filters.items()):
                 out.append(result)
         return out
@@ -134,9 +135,14 @@ class SweepOutcome:
 
 # -- the worker --------------------------------------------------------------
 def run_point(point: SweepPoint) -> SweepResult:
-    """Execute one sweep point in-process and distil its result."""
+    """Execute one sweep point in-process and distil its result.
+
+    The ledger is resolved by name through the backend registry — workers
+    never construct a protocol class directly, so every registered backend
+    (CycLedger and the executable rivals) runs through the same engine.
+    """
+    from repro.backends import create_backend
     from repro.core.config import ProtocolParams
-    from repro.core.protocol import CycLedger
     from repro.exp.presets import CAPACITY_PRESETS
     from repro.nodes.adversary import AdversaryConfig
     from repro.scenarios import SCENARIO_PRESETS
@@ -155,8 +161,12 @@ def run_point(point: SweepPoint) -> SweepResult:
     scenario = (
         SCENARIO_PRESETS[point.scenario] if point.scenario is not None else None
     )
-    ledger = CycLedger(
-        params, adversary=adversary, capacity_fn=capacity_fn, scenario=scenario
+    ledger = create_backend(
+        point.backend,
+        params,
+        adversary=adversary,
+        capacity_fn=capacity_fn,
+        scenario=scenario,
     )
     reports = ledger.run(point.rounds)
     return collect_result(ledger, reports, point.descriptor(), point.key)
@@ -173,6 +183,7 @@ def _pool_worker(payload: str) -> str:
         rounds=desc["rounds"],
         capacity_preset=desc["capacity_preset"],
         scenario=desc["scenario"],
+        backend=desc["backend"],
         derived_seed=desc["derived_seed"],
     )
     start = time.perf_counter()

@@ -85,6 +85,7 @@ class SweepPoint:
     rounds: int
     capacity_preset: str | None
     scenario: str | None  # named fault-injection scenario, or fault-free
+    backend: str  # executable backend registry name
     derived_seed: int
 
     def descriptor(self) -> dict[str, Any]:
@@ -99,6 +100,7 @@ class SweepPoint:
             "rounds": self.rounds,
             "capacity_preset": self.capacity_preset,
             "scenario": self.scenario,
+            "backend": self.backend,
             "derived_seed": self.derived_seed,
         }
 
@@ -122,7 +124,11 @@ def derive_point_seed(
     deliberately *excluded*: fault-injected and fault-free arms of one
     point run on the same protocol seed, so a scenario sweep is a paired
     comparison (the delta is the fault, not seed noise); the scenario
-    still distinguishes the arms' cache keys via the descriptor.
+    still distinguishes the arms' cache keys via the descriptor.  The
+    backend name is excluded for the same reason: all protocols at one
+    point share a root seed (workload, adversary lottery and network
+    jitter sub-streams line up), so a backend sweep compares protocols,
+    not seed noise.
     """
     material = canonical_json(
         {
@@ -150,6 +156,12 @@ class ExperimentSpec:
     ``scenario`` names one fault-injection preset applied to every point;
     ``scenario_grid`` is a product axis of preset names (``None`` entries
     mean fault-free) for comparing behaviour across fault timelines.
+
+    ``backend`` names the executable protocol every point runs on
+    (:data:`repro.backends.BACKEND_REGISTRY`); ``backend_grid`` is a
+    product axis of backend names for head-to-head protocol comparisons.
+    Unknown names fail here, at spec-validation time — never inside a
+    worker.
     """
 
     name: str
@@ -163,6 +175,8 @@ class ExperimentSpec:
     capacity_preset: str | None = None
     scenario: str | None = None
     scenario_grid: Sequence[str | None] = ()
+    backend: str = "cycledger"
+    backend_grid: Sequence[str] = ()
     derive_seeds: bool = True
 
     def __post_init__(self) -> None:
@@ -204,6 +218,16 @@ class ExperimentSpec:
             for name in named_scenarios:
                 if name not in SCENARIO_PRESETS:
                     raise ValueError(f"unknown scenario preset {name!r}")
+        if self.backend != "cycledger" and self.backend_grid:
+            raise ValueError("give backend or backend_grid, not both")
+        from repro.backends import BACKEND_REGISTRY
+
+        for name in (*self.backend_grid, self.backend):
+            if name not in BACKEND_REGISTRY:
+                known = ", ".join(sorted(BACKEND_REGISTRY))
+                raise ValueError(
+                    f"unknown backend {name!r} (known: {known})"
+                )
 
     # -- identity ----------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
@@ -221,6 +245,8 @@ class ExperimentSpec:
             "capacity_preset": self.capacity_preset,
             "scenario": self.scenario,
             "scenario_grid": _jsonable(list(self.scenario_grid)),
+            "backend": self.backend,
+            "backend_grid": _jsonable(list(self.backend_grid)),
             "derive_seeds": self.derive_seeds,
         }
 
@@ -252,6 +278,7 @@ class ExperimentSpec:
             for values in product(*(vs for _, vs in adv_axes))
         ]
         scenarios = list(self.scenario_grid) or [self.scenario]
+        backends = list(self.backend_grid) or [self.backend]
         out: list[SweepPoint] = []
         for point_overrides in explicit:
             for combo in param_combos:
@@ -264,28 +291,30 @@ class ExperimentSpec:
                     if not adversary:
                         adversary = None
                     for scenario in scenarios:
-                        for seed in self.seeds:
-                            derived = (
-                                derive_point_seed(
-                                    _jsonable(params),
-                                    None
-                                    if adversary is None
-                                    else _jsonable(adversary),
-                                    int(seed),
-                                    self.rounds,
+                        for backend in backends:
+                            for seed in self.seeds:
+                                derived = (
+                                    derive_point_seed(
+                                        _jsonable(params),
+                                        None
+                                        if adversary is None
+                                        else _jsonable(adversary),
+                                        int(seed),
+                                        self.rounds,
+                                    )
+                                    if self.derive_seeds
+                                    else int(seed)
                                 )
-                                if self.derive_seeds
-                                else int(seed)
-                            )
-                            out.append(
-                                SweepPoint(
-                                    params=params,
-                                    adversary=adversary,
-                                    seed=int(seed),
-                                    rounds=self.rounds,
-                                    capacity_preset=self.capacity_preset,
-                                    scenario=scenario,
-                                    derived_seed=derived,
+                                out.append(
+                                    SweepPoint(
+                                        params=params,
+                                        adversary=adversary,
+                                        seed=int(seed),
+                                        rounds=self.rounds,
+                                        capacity_preset=self.capacity_preset,
+                                        scenario=scenario,
+                                        backend=backend,
+                                        derived_seed=derived,
+                                    )
                                 )
-                            )
         return out
