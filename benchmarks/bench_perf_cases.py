@@ -1,0 +1,65 @@
+"""Perf harness: run the full case roster and record ``BENCH_perf.json``.
+
+The benchmark-suite face of :mod:`repro.perf`: executes every registered
+micro A/B case plus one end-to-end round case per backend, asserts the
+harness invariants that must hold on any machine (equivalence checks
+pass, A/B cases report a speedup, round cases accumulate simulated
+time), and writes the canonical artifact so the perf trajectory is
+tracked alongside the figure/table benches.
+
+Absolute wall-clock numbers are machine-dependent and deliberately NOT
+asserted here — the calibration block in the artifact is what makes them
+comparable across hosts (see ``docs/perf.md``).
+"""
+
+from conftest import print_table
+from repro.perf import PERF_REGISTRY, PerfSettings, run_cases, write_bench
+
+SETTINGS = PerfSettings(
+    n=48,
+    m=4,
+    lam=2,
+    referee_size=8,
+    users_per_shard=24,
+    tx_per_committee=6,
+    seed=0,
+    committee=32,
+    batch=300,
+    messages=1500,
+)
+
+
+def test_perf_case_roster():
+    """Run everything, check harness invariants, write the artifact."""
+    payload = run_cases(sorted(PERF_REGISTRY), SETTINGS, warmup=1, repeats=3)
+
+    rows = []
+    for case in payload["cases"]:
+        rows.append(
+            (
+                case["name"],
+                case["n"],
+                f"{case['wall']['median_s'] * 1e3:.2f}ms",
+                f"{case['ops_per_sec']:.0f}/s",
+                f"{case['normalized_ops']:.3f}",
+                f"{case['speedup']:.2f}x" if case["speedup"] else "-",
+            )
+        )
+    print_table(
+        "perf cases (median wall, ops/sec, normalized, A/B speedup)",
+        ["case", "n", "median", "ops/sec", "norm", "speedup"],
+        rows,
+    )
+
+    by_name = {c["name"]: c for c in payload["cases"]}
+    # Every micro case is A/B and must have produced a measured ratio.
+    for name, case in by_name.items():
+        if case["category"] == "micro":
+            assert case["speedup"] is not None and case["speedup"] > 0, name
+        else:
+            assert case["sim_time"] > 0, f"{name} recorded no simulated time"
+    # The calibration block is what makes hosts comparable.
+    assert payload["calibration"]["hash_1kib_ops_per_sec"] > 0
+    assert payload["calibration"]["pyloop_ops_per_sec"] > 0
+
+    write_bench("BENCH_perf.json", payload)

@@ -14,8 +14,10 @@ from collections import Counter
 from repro import CycLedger, ProtocolParams
 
 
-def main() -> None:
-    params = ProtocolParams(
+def main(rounds: int = 3, **param_overrides) -> None:
+    """Run the cross-shard walkthrough; ``param_overrides`` replace any
+    :class:`ProtocolParams` field (used by the example tests)."""
+    defaults = dict(
         n=48,
         m=3,
         lam=2,
@@ -26,11 +28,13 @@ def main() -> None:
         cross_shard_ratio=0.6,  # cross-shard heavy
         invalid_ratio=0.1,
     )
+    defaults.update(param_overrides)
+    params = ProtocolParams(**defaults)
     ledger = CycLedger(params)
     print("cross-shard heavy workload (60% of transactions leave their shard)\n")
 
     totals: Counter = Counter()
-    for report in ledger.run(rounds=3):
+    for report in ledger.run(rounds=rounds):
         inter = report.inter
         print(f"round {report.round_number}: "
               f"{report.submitted} submitted, {report.packed} packed "

@@ -16,8 +16,10 @@ import numpy as np
 from repro import AdversaryConfig, CycLedger, ProtocolParams
 
 
-def main() -> None:
-    params = ProtocolParams(
+def main(rounds: int = 4, **param_overrides) -> None:
+    """Run the dishonest-leader scenario; ``param_overrides`` replace any
+    :class:`ProtocolParams` field (used by the example tests)."""
+    defaults = dict(
         n=48,
         m=3,
         lam=2,
@@ -27,6 +29,8 @@ def main() -> None:
         tx_per_committee=8,
         cross_shard_ratio=0.25,
     )
+    defaults.update(param_overrides)
+    params = ProtocolParams(**defaults)
     adversary = AdversaryConfig(
         fraction=0.30,
         leader_strategy="equivocating_leader",
@@ -37,7 +41,7 @@ def main() -> None:
           f"(< 1/3): corrupted leaders equivocate, corrupted members vote "
           f"contrarily\n")
 
-    for report in ledger.run(rounds=4):
+    for report in ledger.run(rounds=rounds):
         flags = []
         if report.intra.equivocation_detected:
             flags.append(f"equivocation in C{report.intra.equivocation_detected}")

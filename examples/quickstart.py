@@ -11,8 +11,13 @@ Run:  python examples/quickstart.py
 from repro import CycLedger, ProtocolParams
 
 
-def main() -> None:
-    params = ProtocolParams(
+def main(rounds: int = 5, **param_overrides) -> None:
+    """Run the quickstart deployment.
+
+    ``param_overrides`` replace any :class:`ProtocolParams` field (the test
+    suite runs every example at small n with a fixed seed this way).
+    """
+    defaults = dict(
         n=64,
         m=4,
         lam=3,
@@ -23,6 +28,8 @@ def main() -> None:
         cross_shard_ratio=0.25,
         invalid_ratio=0.10,
     )
+    defaults.update(param_overrides)
+    params = ProtocolParams(**defaults)
     ledger = CycLedger(params)
     print(
         f"CycLedger: n={params.n}, m={params.m} committees of "
@@ -31,7 +38,7 @@ def main() -> None:
     )
     print(f"{'round':>5} {'submitted':>9} {'packed':>6} {'cross':>5} "
           f"{'fees':>5} {'msgs':>7} {'sim time':>8}")
-    for report in ledger.run(rounds=5):
+    for report in ledger.run(rounds=rounds):
         print(
             f"{report.round_number:>5} {report.submitted:>9} "
             f"{report.packed:>6} {report.cross_packed:>5} "

@@ -28,8 +28,10 @@ def tier_name(capacity: int) -> str:
     return {10_000: "strong", 5: "mid", 1: "straggler"}[capacity]
 
 
-def main() -> None:
-    params = ProtocolParams(
+def main(rounds: int = 4, **param_overrides) -> None:
+    """Run the reputation-economics study; ``param_overrides`` replace any
+    :class:`ProtocolParams` field (used by the example tests)."""
+    defaults = dict(
         n=64,
         m=4,
         lam=3,
@@ -39,11 +41,13 @@ def main() -> None:
         tx_per_committee=10,
         invalid_ratio=0.15,
     )
+    defaults.update(param_overrides)
+    params = ProtocolParams(**defaults)
     adversary = AdversaryConfig(fraction=0.15, voter_strategy="contrary_voter")
     ledger = CycLedger(params, adversary=adversary, capacity_fn=capacity_profile)
 
     fees_total = 0
-    for report in ledger.run(rounds=4):
+    for report in ledger.run(rounds=rounds):
         fees_total += report.blockgen.total_fees
 
     buckets: dict[str, list[tuple[float, float]]] = {}
@@ -56,7 +60,8 @@ def main() -> None:
             (ledger.reputation[node.pk], ledger.rewards.get(node.pk, 0.0))
         )
 
-    print(f"{fees_total} units of transaction fees distributed over 4 rounds\n")
+    print(f"{fees_total} units of transaction fees distributed over "
+          f"{rounds} rounds\n")
     print(f"{'group':>15} {'n':>3} {'mean rep':>9} {'g(rep)':>7} "
           f"{'mean reward':>11} {'share/node':>10}")
     total_reward = sum(ledger.rewards.values())

@@ -23,8 +23,9 @@ from repro.analysis.security import (
 N, T, M = 2000, 666, 10  # Fig. 5's population, one-third malicious
 
 
-def main() -> None:
-    cs = np.arange(20, 301, 10)
+def main(c_max: int = 300) -> None:
+    """Run the committee-sizing study up to committee size ``c_max``."""
+    cs = np.arange(20, c_max + 1, 10)
     print(ascii_plot(
         cs,
         {

@@ -29,7 +29,14 @@ IPDPS 2020, arXiv:2001.06778), including every substrate the paper assumes:
   per-point seeding and resume-from-cache;
 * :mod:`repro.scenarios` — declarative, seed-deterministic fault
   injection (partitions, latency spikes, leader crashes, adversary
-  ramps, churn) attached to the round's phase pipeline.
+  ramps, churn) attached to the round's phase pipeline;
+* :mod:`repro.perf` — the perf-regression harness: named timing cases
+  (micro A/B optimizations vs frozen baselines, end-to-end backend
+  rounds), warmup/repeat protocol, cProfile hotspots, host calibration,
+  and the canonical ``BENCH_perf.json`` artifact.
+
+``docs/architecture.md`` maps the packages and the data flow of one
+round through the phase pipeline.
 
 Quickstart::
 
@@ -46,7 +53,7 @@ from repro.core.protocol import CycLedger, RoundReport, build_default_pipeline
 from repro.nodes.adversary import AdversaryConfig, AdversaryController
 from repro.scenarios import SCENARIO_PRESETS, Scenario
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BACKEND_REGISTRY",

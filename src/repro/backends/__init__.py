@@ -65,6 +65,7 @@ def register_backend(
 
 
 def backend_names() -> list[str]:
+    """Sorted names of every registered executable backend."""
     return sorted(BACKEND_REGISTRY)
 
 

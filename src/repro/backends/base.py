@@ -72,11 +72,17 @@ class LedgerBackend(Protocol):
     chain: Chain
     metrics: MetricsCollector
 
-    def run_round(self) -> Any: ...
+    def run_round(self) -> Any:
+        """Execute one protocol round and return its round report."""
+        ...
 
-    def run(self, rounds: int) -> list[Any]: ...
+    def run(self, rounds: int) -> list[Any]:
+        """Execute ``rounds`` consecutive rounds; returns their reports."""
+        ...
 
-    def total_packed(self) -> int: ...
+    def total_packed(self) -> int:
+        """Transactions packed into the chain across all rounds so far."""
+        ...
 
 
 @dataclass
@@ -178,7 +184,9 @@ def init_shared_state(
     )
     # The network fabric and channel maps are built once and rewound per
     # round (reset / in-place topology refill) instead of reallocated.
-    ledger.net = Network(params.net, ledger.net_rng)
+    # Envelope pooling is safe here: every handler on the orchestrated
+    # path retains message *payloads* only, never the envelope itself.
+    ledger.net = Network(params.net, ledger.net_rng, pool_envelopes=True)
     for node in ledger.nodes.values():
         ledger.net.add_node(node)
     ledger._channels = None
@@ -273,6 +281,9 @@ class CommitteeSimBackend:
 
     # -- subclass hooks ------------------------------------------------------
     def build_pipeline(self) -> PhasePipeline:
+        """Construct this protocol's phase pipeline (subclass hook); the
+        last phase must store a :class:`PackReport` under
+        :attr:`pack_phase`."""
         raise NotImplementedError
 
     def _decorate_report(
@@ -357,6 +368,8 @@ class CommitteeSimBackend:
 
     # -- the main loop -------------------------------------------------------
     def run_round(self) -> SimRoundReport:
+        """Execute one round: assign roles, generate workload, drive the
+        phase pipeline, reconcile the chain, and stage the next round."""
         params = self.params
         self.pipeline.begin_round(self)
         committees, referee_ids, channels = self._assign_round()
@@ -430,13 +443,17 @@ class CommitteeSimBackend:
         return report
 
     def run(self, rounds: int) -> list[SimRoundReport]:
+        """Run ``rounds`` consecutive rounds; returns their reports."""
         return [self.run_round() for _ in range(rounds)]
 
     # -- convenience accessors ----------------------------------------------
     def total_packed(self) -> int:
+        """Transactions packed into the chain across all rounds so far."""
         return self.chain.total_transactions()
 
     def reputation_by_behavior(self) -> dict[str, list[float]]:
+        """Reputation values grouped by node behaviour name (always flat
+        zeros for rival backends — they ship without incentives)."""
         grouped: dict[str, list[float]] = {}
         for node in self.nodes.values():
             grouped.setdefault(node.behavior.name, []).append(
@@ -512,6 +529,7 @@ class CommitteeSimBackend:
         votes: dict[int, int] = {}
 
         def on_vote(msg) -> None:
+            """Tally one Yes vote for the committee named in the payload."""
             votes[msg.payload] = votes.get(msg.payload, 0) + 1
 
         for spec in ctx.committees:
@@ -552,6 +570,7 @@ class CommitteeSimBackend:
         received = self._chunks_received
 
         def on_chunk(msg) -> None:
+            """Count one received proposal chunk for the recipient."""
             received[msg.recipient] = received.get(msg.recipient, 0) + 1
 
         for spec in ctx.committees:

@@ -46,6 +46,7 @@ class OmniLedgerBackend(CommitteeSimBackend):
     dissemination_chunks = 2
 
     def build_pipeline(self) -> PhasePipeline:
+        """The three OmniLedger phases: shard BFT, Atomix, packing."""
         return PhasePipeline(
             (
                 Phase(PHASE_SHARD, self._phase_shard),
@@ -82,7 +83,10 @@ class OmniLedgerBackend(CommitteeSimBackend):
         unlocked: dict[tuple[int, bytes], int] = {}
 
         def make_on_lock(leader_id: int):
+            """Handler factory: output-shard leader answers lock with proof."""
+
             def on_lock(msg) -> None:
+                """Honest online leaders return a proof-of-acceptance."""
                 node = ctx.nodes[leader_id]
                 if node.online and not node.behavior.is_malicious:
                     node.send(
@@ -92,15 +96,18 @@ class OmniLedgerBackend(CommitteeSimBackend):
             return on_lock
 
         def make_on_proof(leader_id: int):
+            """Handler factory: the client's proof-to-unlock leg."""
+
             def on_proof(msg) -> None:
-                # The client, holding the proof-of-acceptance, submits the
-                # unlock-to-commit to the output shard's leader.
+                """The client, holding the proof-of-acceptance, submits the
+                unlock-to-commit to the output shard's leader."""
                 ctx.nodes[leader_id].send(
                     msg.sender, "ol/unlock", msg.payload, size=TX_WIRE_BYTES
                 )
             return on_proof
 
         def on_unlock(msg) -> None:
+            """Count one unlock-to-commit for a cross-shard transaction."""
             unlocked[msg.payload] = unlocked.get(msg.payload, 0) + 1
 
         for spec in ctx.committees:

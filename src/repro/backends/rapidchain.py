@@ -46,6 +46,7 @@ class RapidChainBackend(CommitteeSimBackend):
     dissemination_chunks = 4
 
     def build_pipeline(self) -> PhasePipeline:
+        """The four RapidChain phases: disseminate, vote, route, pack."""
         return PhasePipeline(
             (
                 Phase(PHASE_DISSEMINATION, self._phase_dissemination),
@@ -88,10 +89,14 @@ class RapidChainBackend(CommitteeSimBackend):
         acks: dict[tuple[int, bytes], int] = {}
 
         def on_ack(msg) -> None:
+            """Count one output-shard acknowledgement for a routed tx."""
             acks[msg.payload] = acks.get(msg.payload, 0) + 1
 
         def make_on_request(leader_id: int):
+            """Handler factory: the output-shard leader's ack-or-ignore."""
+
             def on_request(msg) -> None:
+                """Honest online leaders acknowledge the routed txid."""
                 node = ctx.nodes[leader_id]
                 if node.online and not node.behavior.is_malicious:
                     node.send(
@@ -120,6 +125,7 @@ class RapidChainBackend(CommitteeSimBackend):
         landed: dict[int, list[TaggedTx]] = {}
 
         def on_final(msg) -> None:
+            """Record a shard's final list as it lands at the ref leader."""
             if msg.recipient != ref_leader:
                 return
             index, txlist = msg.payload

@@ -36,7 +36,14 @@ from repro.core.consensus import EquivocationWitness, InsideConsensus
 from repro.core.structures import CommitteeSpec, RecoveryEvent, RoundContext
 from repro.core.tags import Tags
 from repro.crypto.commitment import semi_commitment
-from repro.crypto.signatures import Signature, sign, signed_by, verify
+from repro.crypto.signatures import (
+    Signature,
+    encode_statement,
+    sign,
+    signed_by,
+    signers_of,
+    verify_encoded,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.message import Message
@@ -95,9 +102,9 @@ def validate_witness(pki, witness: Witness, committee_size: int) -> bool:
     if witness.kind == "silence":
         phase, statements = witness.evidence
         stmt = no_proposal_statement(witness.round_number, witness.committee, phase)
-        signers = {
-            s.pk for s in statements if isinstance(s, Signature) and verify(pki, s, stmt)
-        }
+        signers = signers_of(
+            pki, (s for s in statements if isinstance(s, Signature)), stmt
+        )
         return len(signers) > committee_size / 2
     return False
 
@@ -120,6 +127,7 @@ class _ImpeachmentSession:
         self.witness = witness
         self.session = session
         self.approvals: dict[str, Signature] = {}
+        self._enc_vote: dict[bool, bytes] = {}  # encoded IMPEACH_VOTE stmts
         self.escalated = False
         self.referee_outcome = None
         self.new_leader_announcements: dict[int, set[str]] = {}
@@ -183,11 +191,18 @@ class _ImpeachmentSession:
             return
         self._register_vote(sig, True)
 
+    def _vote_enc(self, approve: bool) -> bytes:
+        enc = self._enc_vote.get(approve)
+        if enc is None:
+            enc = encode_statement(self._vote_statement(approve))
+            self._enc_vote[approve] = enc
+        return enc
+
     def _register_vote(self, sig: Signature, approve: bool) -> None:
         member_pks = {self.ctx.pk_of(mid) for mid in self.committee.members}
         if sig.pk not in member_pks:
             return
-        if not verify(self.ctx.pki, sig, self._vote_statement(approve)):
+        if not verify_encoded(self.ctx.pki, sig, self._vote_enc(approve)):
             return
         self.approvals[sig.pk] = sig
         if len(self.approvals) > self.committee.size / 2 and not self.escalated:
@@ -206,13 +221,11 @@ class _ImpeachmentSession:
                 return
             if not validate_witness(self.ctx.pki, witness, self.committee.size):
                 return
-            signers = {
-                s.pk
-                for s in cert
-                if verify(self.ctx.pki, s, self._vote_statement(True))
-            }
             member_pks = {self.ctx.pk_of(mid) for mid in self.committee.members}
-            if len(signers & member_pks) <= self.committee.size / 2:
+            signers = signers_of(
+                self.ctx.pki, cert, self._vote_statement(True), members=member_pks
+            )
+            if len(signers) <= self.committee.size / 2:
                 return
             # Algorithm 6: the receiving referee member leads an
             # inside-consensus within C_R on the accusation.

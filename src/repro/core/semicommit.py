@@ -27,7 +27,7 @@ from repro.crypto.commitment import (
     semi_commitment,
     superset_consistent,
 )
-from repro.crypto.signatures import sign, signed_by
+from repro.crypto.signatures import encode_statement, sign, signed_by_encoded
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.message import Message
@@ -52,6 +52,11 @@ class _SemiCommitSession:
         self.partial_view: dict[int, tuple | None] = {}
         # partial-side: commitment announced by C_R
         self.cr_announced: dict[int, dict[int, bytes]] = {}
+        # Every referee verifies the same leader-signed SEMI_COM statement;
+        # encode each distinct claim once per session.  Keyed by the full
+        # statement content, so a Byzantine leader varying the list under
+        # one commitment can never alias a cache slot.
+        self._enc_claims: dict[tuple, bytes] = {}
 
     def start(self) -> None:
         ctx = self.ctx
@@ -94,7 +99,14 @@ class _SemiCommitSession:
             committee = self.ctx.committees[k]
             leader_pk = self.ctx.pk_of(committee.leader)
             statement = ("SEMI_COM", self.ctx.round_number, commitment, claimed_list)
-            if not signed_by(self.ctx.pki, sig, statement, leader_pk):
+            try:
+                enc = self._enc_claims.get(statement)
+                if enc is None:
+                    enc = encode_statement(statement)
+                    self._enc_claims[statement] = enc
+            except TypeError:  # unhashable crafted list: encode directly
+                enc = encode_statement(statement)
+            if not signed_by_encoded(self.ctx.pki, sig, enc, leader_pk):
                 return
             self.claims.setdefault(rid, {})[k] = (commitment, claimed_list, sig)
 

@@ -28,7 +28,13 @@ import numpy as np
 from repro.core.consensus import InsideConsensus
 from repro.core.recovery import no_proposal_statement
 from repro.core.structures import CommitteeSpec, RoundContext
-from repro.crypto.signatures import Signature, sign, signed_by, verify
+from repro.crypto.signatures import (
+    Signature,
+    encode_statement,
+    sign,
+    signed_by_encoded,
+    verify,
+)
 from repro.ledger.transaction import Transaction
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -109,6 +115,10 @@ class VoteRoundSession:
             txids=self.txids,
         )
         self._votes: dict[int, np.ndarray] = {}
+        # Every member verifies the leader's signature over the SAME
+        # TX_LIST statement; encode each distinct statement once per
+        # session instead of once per member.
+        self._enc_txlist: dict[tuple, bytes] = {}
         self._tallied = False
         self._proposal_seen: set[int] = set()
         self._alg3: InsideConsensus | None = None
@@ -157,8 +167,13 @@ class VoteRoundSession:
             txs, sig = message.payload
             leader_pk = self.ctx.pk_of(self.committee.leader)
             txids = tuple(tx.txid for tx in txs)
-            statement = ("TX_LIST", self.ctx.round_number, self.committee.index, txids)
-            if not signed_by(self.ctx.pki, sig, statement, leader_pk):
+            enc = self._enc_txlist.get(txids)
+            if enc is None:
+                enc = encode_statement(
+                    ("TX_LIST", self.ctx.round_number, self.committee.index, txids)
+                )
+                self._enc_txlist[txids] = enc
+            if not signed_by_encoded(self.ctx.pki, sig, enc, leader_pk):
                 return
             if mid in self._proposal_seen:
                 return

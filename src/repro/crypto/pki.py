@@ -18,6 +18,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.crypto.hashing import H, canonical_bytes
 
@@ -105,6 +106,30 @@ class PKI:
             self._mac_cache.pop(next(iter(self._mac_cache)))
         self._mac_cache[key] = tag
         return tag
+
+    def mac_many(self, pks: "Iterable[str]", message: bytes) -> list[bytes]:
+        """MACs of one ``message`` under many registered public keys.
+
+        The batched form of :meth:`mac` for the consensus fan-out pattern
+        (one statement checked against a whole recipient set, e.g. a
+        certificate's signer list): the per-call dispatch, cache probe and
+        eviction bookkeeping run once per key with all loop-invariant state
+        hoisted, instead of once per ``(pk, message)`` method call.  Raises
+        ``KeyError`` on the first unregistered ``pk``, like :meth:`mac`.
+        """
+        cache = self._mac_cache
+        secrets = self._secrets
+        tags: list[bytes] = []
+        for pk in pks:
+            key = (pk, message)
+            tag = cache.get(key)
+            if tag is None:
+                tag = hmac.new(secrets[pk], message, hashlib.sha256).digest()
+                if len(cache) >= self._MAC_CACHE_MAX:
+                    cache.pop(next(iter(cache)))
+                cache[key] = tag
+            tags.append(tag)
+        return tags
 
     def __len__(self) -> int:
         return len(self._secrets)

@@ -43,6 +43,7 @@ class SweepResult:
     chain: Mapping[str, Any]
 
     def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON rendering (inverse of :meth:`from_dict`)."""
         return {
             "point": dict(self.point),
             "key": self.key,
@@ -55,6 +56,8 @@ class SweepResult:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
+        """Rehydrate a record produced by :meth:`to_dict` (e.g. from the
+        on-disk point cache or a worker's JSON reply)."""
         return cls(
             point=data["point"],
             key=data["key"],
@@ -259,4 +262,5 @@ def atomic_write_bytes(path: str, data: bytes) -> None:
 
 
 def atomic_write_json(path: str, obj: Any) -> None:
+    """Crash-safe, key-sorted, human-readable JSON write (sidecars)."""
     atomic_write_bytes(path, (json.dumps(obj, sort_keys=True, indent=2) + "\n").encode())

@@ -43,6 +43,7 @@ class PointTiming:
 
     @property
     def rounds_per_sec(self) -> float:
+        """Throughput of this point's execution (0.0 for a zero wall time)."""
         return self.rounds / self.wall_time if self.wall_time > 0 else 0.0
 
 
@@ -61,6 +62,7 @@ class SweepOutcome:
 
     # -- lookup helpers ----------------------------------------------------
     def by_point(self) -> dict[str, SweepResult]:
+        """Results indexed by their stable point key."""
         return {r.key: r for r in self.results}
 
     def find(self, **filters: Any) -> list[SweepResult]:
@@ -84,6 +86,7 @@ class SweepOutcome:
         return out
 
     def one(self, **filters: Any) -> SweepResult:
+        """The unique result matching ``filters``; raises otherwise."""
         matches = self.find(**filters)
         if len(matches) != 1:
             raise LookupError(
@@ -93,12 +96,15 @@ class SweepOutcome:
 
     # -- artifacts ---------------------------------------------------------
     def json_bytes(self) -> bytes:
+        """The canonical results artifact (byte-identical serial/parallel)."""
         return aggregate_json(self.spec.to_dict(), self.spec_hash, self.results)
 
     def write_json(self, path: str) -> None:
+        """Atomically write :meth:`json_bytes` to ``path``."""
         atomic_write_bytes(path, self.json_bytes())
 
     def write_csv(self, path: str) -> None:
+        """Write the flat one-row-per-point CSV to ``path``."""
         write_csv(path, self.results)
 
     def bench_payload(self) -> dict[str, Any]:
@@ -130,6 +136,7 @@ class SweepOutcome:
         }
 
     def write_bench(self, path: str) -> None:
+        """Write the ``BENCH_sweep.json`` perf sidecar to ``path``."""
         atomic_write_json(path, self.bench_payload())
 
 
@@ -244,6 +251,12 @@ class Runner:
     def run(
         self, progress: Callable[[int, int, SweepResult], None] | None = None
     ) -> SweepOutcome:
+        """Execute every pending point (cache hits are skipped) and return
+        the aggregated :class:`SweepOutcome`.
+
+        ``progress(done, total, result)`` is invoked after each executed
+        point, in completion order.
+        """
         spec_hash = self.spec.spec_hash()
         points = self.spec.expand()
         started = time.perf_counter()

@@ -231,6 +231,7 @@ class ExperimentSpec:
 
     # -- identity ----------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
+        """Canonical plain-JSON form (the input to :meth:`spec_hash`)."""
         return {
             "name": self.name,
             "rounds": self.rounds,

@@ -64,14 +64,19 @@ class WorkloadGenerator:
         self._nonce = 0
         # Bucket addresses by their hash-derived shard until each bucket is
         # full; the address space is dense enough that this terminates fast.
+        # A single countdown of remaining open slots replaces the previous
+        # any()-scan over all buckets per candidate address, which made
+        # generator construction O(addresses x m).
         self.addresses_by_shard: list[list[str]] = [[] for _ in range(m)]
+        open_slots = m * users_per_shard
         serial = 0
-        while any(len(bucket) < users_per_shard for bucket in self.addresses_by_shard):
+        while open_slots:
             address = f"user-{serial:08d}"
             serial += 1
-            shard = shard_of_address(address, m)
-            if len(self.addresses_by_shard[shard]) < users_per_shard:
-                self.addresses_by_shard[shard].append(address)
+            bucket = self.addresses_by_shard[shard_of_address(address, m)]
+            if len(bucket) < users_per_shard:
+                bucket.append(address)
+                open_slots -= 1
         self.genesis_tx = make_coinbase(
             [
                 TxOutput(address, endowment)
@@ -161,8 +166,15 @@ class WorkloadGenerator:
             intended_valid=True,
         )
 
+    _DEFECTS = ("double_spend", "overspend", "phantom_input")
+
     def _build_invalid(self, home: int, cross: bool) -> TaggedTx:
-        defect = str(self.rng.choice(["double_spend", "overspend", "phantom_input"]))
+        # Indexing the tuple with one bounded-integer draw is
+        # stream-identical to ``rng.choice(list)`` — Generator.choice is
+        # itself ``integers(0, len)`` under the hood, but wrapped in an
+        # ndarray conversion of the whole option list that dominated this
+        # function's profile (asserted identical in tests).
+        defect = self._DEFECTS[int(self.rng.integers(0, 3))]
         payee = self._pick_payee(home, cross)
         if defect == "double_spend" and self._spent:
             outpoint, owner, amount = self._spent[

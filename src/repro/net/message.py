@@ -4,11 +4,86 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 _SIG_SIZE = 64  # public key reference + MAC tag, like an Ed25519 signature
 _HASH_SIZE = 32
 _INT_SIZE = 8
+
+#: dataclass type -> field-name tuple, resolved once per type instead of
+#: re-running ``dataclasses.fields`` introspection on every sized payload
+#: (the profile showed that introspection dominating ``payload_size`` for
+#: transaction-heavy payloads).
+_FIELDS_BY_TYPE: dict[type, tuple[str, ...]] = {}
+
+_NP_SCALAR_TYPES: tuple[type, ...] | None = None
+
+
+def _np_scalar_types() -> tuple[type, ...]:
+    global _NP_SCALAR_TYPES
+    if _NP_SCALAR_TYPES is None:
+        import numpy as np
+
+        _NP_SCALAR_TYPES = (np.integer, np.floating)
+    return _NP_SCALAR_TYPES
+
+
+def _size_container(obj: Any) -> int:
+    return 2 + sum(payload_size(x) for x in obj)
+
+
+def _size_dict(obj: dict) -> int:
+    return 2 + sum(payload_size(k) + payload_size(v) for k, v in obj.items())
+
+
+def _size_slow(obj: Any) -> int:
+    """Uncommon payload types: named crypto objects, dataclasses, numpy
+    scalars, and subclasses of the fast-dispatched builtins."""
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, float)):
+        return _INT_SIZE
+    if isinstance(obj, (bytes, str)):
+        return len(obj)
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return _size_container(obj)
+    if isinstance(obj, dict):
+        return _size_dict(obj)
+    # Signatures and VRF outputs get their conventional fixed sizes.
+    cls = type(obj)
+    type_name = cls.__name__
+    if type_name == "Signature":
+        return _SIG_SIZE
+    if type_name == "VRFOutput":
+        return _SIG_SIZE + _HASH_SIZE
+    if dataclasses.is_dataclass(obj):
+        names = _FIELDS_BY_TYPE.get(cls)
+        if names is None:
+            names = tuple(f.name for f in dataclasses.fields(obj))
+            _FIELDS_BY_TYPE[cls] = names
+        return 2 + sum(payload_size(getattr(obj, name)) for name in names)
+    if isinstance(obj, _np_scalar_types()):
+        return _INT_SIZE
+    raise TypeError(f"payload_size cannot size {type_name}")
+
+
+#: Exact-type fast dispatch for the builtins that dominate real payloads.
+#: ``bool``/``int`` must be distinct entries (bool is an int subclass, but
+#: ``type(obj)`` lookups never confuse them), and subclasses fall through
+#: to :func:`_size_slow`, preserving the old isinstance semantics.
+_SIZERS: dict[type, Callable[[Any], int]] = {
+    bool: lambda obj: 1,
+    int: lambda obj: _INT_SIZE,
+    float: lambda obj: _INT_SIZE,
+    bytes: len,
+    str: len,
+    tuple: _size_container,
+    list: _size_container,
+    set: _size_container,
+    frozenset: _size_container,
+    dict: _size_dict,
+    type(None): lambda obj: 1,
+}
 
 
 def payload_size(obj: Any) -> int:
@@ -19,42 +94,24 @@ def payload_size(obj: Any) -> int:
     their length, containers the sum of elements plus small framing), not an
     actual codec.  Consistency across protocols is what matters for the
     complexity comparison.
+
+    The implementation dispatches on exact type first (one dict probe for
+    the builtins that make up virtually every real payload) and falls back
+    to the isinstance chain for subclasses, dataclasses and numpy scalars —
+    ``payload_size`` runs once per simulated send, so it is one of the
+    hottest functions in the repository (perf case ``micro:message_pump``).
     """
-    if obj is None:
-        return 1
-    if isinstance(obj, bool):
-        return 1
-    if isinstance(obj, int):
-        return _INT_SIZE
-    if isinstance(obj, float):
-        return _INT_SIZE
-    if isinstance(obj, bytes):
-        return len(obj)
-    if isinstance(obj, str):
-        return len(obj)
-    if isinstance(obj, (tuple, list, set, frozenset)):
-        return 2 + sum(payload_size(x) for x in obj)
-    if isinstance(obj, dict):
-        return 2 + sum(payload_size(k) + payload_size(v) for k, v in obj.items())
-    # Signatures and VRF outputs get their conventional fixed sizes.
-    type_name = type(obj).__name__
-    if type_name == "Signature":
-        return _SIG_SIZE
-    if type_name == "VRFOutput":
-        return _SIG_SIZE + _HASH_SIZE
-    if dataclasses.is_dataclass(obj):
-        return 2 + sum(
-            payload_size(getattr(obj, f.name)) for f in dataclasses.fields(obj)
-        )
-    if isinstance(obj, np_integer_types()):
-        return _INT_SIZE
-    raise TypeError(f"payload_size cannot size {type_name}")
+    sizer = _SIZERS.get(type(obj))
+    if sizer is not None:
+        return sizer(obj)
+    return _size_slow(obj)
 
 
 def np_integer_types() -> tuple[type, ...]:
-    import numpy as np
-
-    return (np.integer, np.floating)
+    """Numpy scalar types sized like fixed-width ints (kept for backward
+    compatibility; resolved lazily so importing this module never pulls in
+    numpy)."""
+    return _np_scalar_types()
 
 
 @dataclass(slots=True)
@@ -65,6 +122,11 @@ class Message:
     tags: PROPOSE, ECHO, CONFIRM, CONFIG, MEM_LIST, SEMI_COM, TX_LIST, VOTE,
     INTRA, NEW, …).  ``channel`` is the latency class the topology assigned
     to the (sender, recipient) pair.
+
+    Envelopes are pooled by :class:`~repro.net.simulator.Network`: after a
+    delivery callback returns, the envelope may be reused for a later send.
+    Handlers must therefore never retain the envelope itself beyond the
+    callback — retaining the *payload* is fine (payloads are never pooled).
     """
 
     sender: int

@@ -50,6 +50,7 @@ class Network:
         rng: np.random.Generator,
         metrics: MetricsCollector | None = None,
         strict_channels: bool = True,
+        pool_envelopes: bool = False,
     ) -> None:
         self.params = params
         self.rng = rng
@@ -59,6 +60,23 @@ class Network:
         self.now: float = 0.0
         self._queue: list[tuple[float, int, Message | None, Callable | None]] = []
         self._seq = itertools.count()
+        # Jitter draws are served from a pre-drawn block: one vectorized
+        # ``rng.random(n)`` call replaces n scalar Generator calls on the
+        # per-message hot path.  numpy guarantees a batched draw consumes
+        # the bit stream exactly like sequential scalar draws, so the
+        # served sequence — and therefore every artifact — is unchanged
+        # (asserted by tests/test_perf_harness.py).
+        self._jitter_block: np.ndarray | None = None
+        self._jitter_idx = 0
+        # Recycled Message envelopes (opt-in): the protocol allocates one
+        # envelope per send and drops it right after the delivery callback;
+        # pooling removes that allocate/GC churn.  Pooling is only enabled
+        # on the orchestrated protocol path (init_shared_state), whose
+        # handlers are audited to retain payloads, never envelopes; ad-hoc
+        # Network users (tests, notebooks) keep allocation semantics and
+        # may hold on to delivered messages freely.
+        self.pool_envelopes = pool_envelopes
+        self._pool: list[Message] = []
         self.channel_classifier: Callable[[int, int], str | None] = (
             lambda src, dst: ChannelClass.PARTIAL
         )
@@ -72,6 +90,16 @@ class Network:
         self._partition: dict[int, int] | None = None
         self.partition_dropped = 0
         self._degradations: list[tuple[float, float, float, frozenset[str] | None]] = []
+        # Per-class base delays resolved once (params is frozen): a dict
+        # probe per message instead of the string-compare chain in
+        # NetworkParams.base_delay.
+        self._base_delays: dict[str, float] = {
+            ChannelClass.INTRA: params.delta,
+            ChannelClass.KEY: params.gamma,
+            ChannelClass.REFEREE: params.gamma,
+            ChannelClass.PARTIAL: params.partial_base,
+            ChannelClass.LOCAL: 0.0,
+        }
 
     # -- wiring ------------------------------------------------------------
     def reset(self, metrics: MetricsCollector | None = None) -> None:
@@ -171,12 +199,33 @@ class Network:
         return factor
 
     # -- latency model ----------------------------------------------------
+    _JITTER_BLOCK = 1024
+    _POOL_MAX = 1024
+
+    def _next_jitter(self) -> float:
+        """The next uniform jitter draw, served from the pre-drawn block.
+
+        Byte-for-byte identical to ``float(self.rng.random())`` per call —
+        a batched ``Generator.random(n)`` consumes the underlying bit
+        stream exactly like n scalar calls — but the Generator dispatch
+        overhead is paid once per block instead of once per message.
+        """
+        block = self._jitter_block
+        idx = self._jitter_idx
+        if block is None or idx >= len(block):
+            self._jitter_block = block = self.rng.random(self._JITTER_BLOCK)
+            idx = 0
+        self._jitter_idx = idx + 1
+        return float(block[idx])
+
     def _sample_delay(self, channel_class: str, message: Message | None = None) -> float:
-        base = self.params.base_delay(channel_class)
+        base = self._base_delays.get(channel_class)
+        if base is None:
+            base = self.params.base_delay(channel_class)  # raises for unknown
         if base == 0.0:
             return 0.0
         jitter = self.params.jitter
-        delay = base * (1.0 - jitter * float(self.rng.random()))
+        delay = base * (1.0 - jitter * self._next_jitter())
         if self._degradations:
             delay *= self._degradation_factor(channel_class)
         if (
@@ -213,24 +262,50 @@ class Network:
             self.partition_dropped += 1
             return
         nbytes = size if size is not None else payload_size(payload)
-        message = Message(
-            sender=sender,
-            recipient=recipient,
-            tag=tag,
-            payload=payload,
-            size=nbytes,
-            channel=channel,
-            send_time=self.now,
-            deliver_time=0.0,
-        )
+        if self._pool:
+            # Reuse a retired envelope instead of allocating a fresh one.
+            message = self._pool.pop()
+            message.sender = sender
+            message.recipient = recipient
+            message.tag = tag
+            message.payload = payload
+            message.size = nbytes
+            message.channel = channel
+            message.send_time = self.now
+            message.deliver_time = 0.0
+        else:
+            message = Message(
+                sender=sender,
+                recipient=recipient,
+                tag=tag,
+                payload=payload,
+                size=nbytes,
+                channel=channel,
+                send_time=self.now,
+                deliver_time=0.0,
+            )
         if self.drop_filter is not None and self.drop_filter(message):
             self.dropped_messages += 1
+            self._release(message)
             return
         message.deliver_time = self.now + self._sample_delay(channel, message)
         self.metrics.record_send(sender, nbytes)
         heapq.heappush(
             self._queue, (message.deliver_time, next(self._seq), message, None)
         )
+
+    def _release(self, message: Message) -> None:
+        """Retire an envelope back to the pool.
+
+        The payload reference is cleared (pooling must never extend a
+        payload's lifetime) and the tag is poisoned, so a handler that
+        violated the no-retention contract reads an obviously-invalid
+        envelope instead of another send's fields masquerading as its own.
+        """
+        if self.pool_envelopes and len(self._pool) < self._POOL_MAX:
+            message.payload = None
+            message.tag = "<pooled>"
+            self._pool.append(message)
 
     def call_at(self, time: float, callback: Callable[[], None]) -> None:
         """Schedule a timer (used for the paper's timeout rules, e.g. the 2Γ
@@ -261,6 +336,7 @@ class Network:
                 if node is not None:
                     node.receive(message)
                     self.delivered_messages += 1
+                self._release(message)
             elif callback is not None:
                 callback()
             processed += 1

@@ -1,0 +1,51 @@
+"""Perf-regression harness: timing cases, calibration, ``BENCH_perf.json``.
+
+The measurement counterpart to :mod:`repro.exp`: where the experiment
+engine answers "what did the protocol do", this package answers "how fast
+did the code do it" — reproducibly enough to gate optimizations and catch
+regressions PR-over-PR.
+
+    from repro.perf import PERF_REGISTRY, PerfSettings, run_cases, write_bench
+
+    payload = run_cases(sorted(PERF_REGISTRY), PerfSettings(), repeats=5)
+    write_bench("BENCH_perf.json", payload)
+
+``repro bench`` is the CLI face; ``docs/perf.md`` documents the protocol
+(warmup + repeats, median/p95, A/B baselines, calibration normalization)
+and how CI consumes the artifact.
+"""
+
+from repro.perf.harness import (
+    BENCH_SCHEMA,
+    CaseResult,
+    PERF_REGISTRY,
+    PerfCase,
+    PerfSettings,
+    TimingSummary,
+    bench_payload,
+    calibrate,
+    perf_case_names,
+    register_perf_case,
+    run_case,
+    run_cases,
+    write_bench,
+)
+
+# Importing the case catalogue populates PERF_REGISTRY.
+from repro.perf import cases as _cases  # noqa: F401  (import for effect)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "CaseResult",
+    "PERF_REGISTRY",
+    "PerfCase",
+    "PerfSettings",
+    "TimingSummary",
+    "bench_payload",
+    "calibrate",
+    "perf_case_names",
+    "register_perf_case",
+    "run_case",
+    "run_cases",
+    "write_bench",
+]

@@ -1,0 +1,257 @@
+"""Frozen pre-optimization implementations, kept as measurement baselines.
+
+Every hot-path optimization in this repository is gated by an A/B perf
+case: the optimized code ships in its real module, the code it replaced is
+preserved here — verbatim, not simplified — so ``repro bench`` can keep
+measuring the speedup on every host, every PR.  Nothing in the protocol
+imports this module; it exists only for :mod:`repro.perf.cases` and the
+equivalence tests that pin optimized and baseline behaviour together.
+
+Baselines frozen here:
+
+* :func:`naive_verify_loop` / :func:`naive_sign_loop` — scalar
+  sign/verify with one canonical statement encoding *per call* (replaced
+  by the batched helpers in :mod:`repro.crypto.signatures`);
+* :func:`naive_payload_size` — wire-size estimation with per-call
+  ``dataclasses.fields`` introspection and isinstance chains (replaced by
+  the exact-type dispatch in :mod:`repro.net.message`);
+* :class:`NaiveNetwork` — the simulator's send path with per-message
+  envelope allocation and scalar jitter draws (replaced by envelope
+  pooling and block-buffered jitter in :mod:`repro.net.simulator`);
+* :class:`NaiveWorkloadGenerator` — transaction generation with
+  ``Generator.choice`` defect draws and an any()-scan address bucket fill
+  (replaced by tuple-indexed bounded-integer draws and a slot countdown in
+  :mod:`repro.ledger.workload`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.crypto.pki import PKI, KeyPair
+from repro.crypto.signatures import Signature, sign, verify
+from repro.ledger.transaction import Transaction, TxInput, TxOutput, shard_of_address
+from repro.ledger.workload import TaggedTx, WorkloadGenerator
+from repro.net.message import Message
+from repro.net.params import ChannelClass
+from repro.net.simulator import Network, SimulationError
+
+_SIG_SIZE = 64
+_HASH_SIZE = 32
+_INT_SIZE = 8
+
+
+# -- crypto ------------------------------------------------------------------
+def naive_sign_loop(keypairs: Iterable[KeyPair], message: Any) -> list[Signature]:
+    """Pre-batching signing: one full statement encoding per signer."""
+    return [sign(kp, message) for kp in keypairs]
+
+
+def naive_verify_loop(
+    pki: PKI,
+    signatures: Sequence[Signature],
+    message: Any,
+    members: "set[str] | None" = None,
+) -> set[str]:
+    """Pre-batching certificate check: scalar :func:`verify` per signature
+    (re-encoding the statement each time), exactly as
+    ``verify_certificate`` did before ``signers_of``."""
+    valid: set[str] = set()
+    for sig in signatures:
+        if members is not None and sig.pk not in members:
+            continue
+        if verify(pki, sig, message):
+            valid.add(sig.pk)
+    return valid
+
+
+# -- wire sizing -------------------------------------------------------------
+def naive_payload_size(obj: Any) -> int:
+    """The pre-optimization ``payload_size``: isinstance chain per element
+    and ``dataclasses.fields`` introspection per dataclass instance."""
+    if obj is None:
+        return 1
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, int):
+        return _INT_SIZE
+    if isinstance(obj, float):
+        return _INT_SIZE
+    if isinstance(obj, bytes):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return 2 + sum(naive_payload_size(x) for x in obj)
+    if isinstance(obj, dict):
+        return 2 + sum(
+            naive_payload_size(k) + naive_payload_size(v) for k, v in obj.items()
+        )
+    type_name = type(obj).__name__
+    if type_name == "Signature":
+        return _SIG_SIZE
+    if type_name == "VRFOutput":
+        return _SIG_SIZE + _HASH_SIZE
+    if dataclasses.is_dataclass(obj):
+        return 2 + sum(
+            naive_payload_size(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        )
+    if isinstance(obj, _np_scalar_types()):
+        return _INT_SIZE
+    raise TypeError(f"naive_payload_size cannot size {type_name}")
+
+
+def _np_scalar_types() -> tuple[type, ...]:
+    import numpy as np  # the old deferred-import behaviour, per call
+
+    return (np.integer, np.floating)
+
+
+# -- network -----------------------------------------------------------------
+class NaiveNetwork(Network):
+    """The simulator with its pre-optimization send path.
+
+    Allocates a fresh :class:`Message` per send, draws jitter with a scalar
+    ``Generator.random()`` call per message, and sizes payloads with
+    :func:`naive_payload_size`.  Given the same RNG seed it produces the
+    identical delivery schedule as the optimized :class:`Network` (the
+    jitter block is stream-exact), so A/B pump runs can be checked for
+    equality, not just timed.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        kwargs["pool_envelopes"] = False
+        super().__init__(*args, **kwargs)
+
+    def _next_jitter(self) -> float:
+        return float(self.rng.random())
+
+    def send(
+        self,
+        sender: int,
+        recipient: int,
+        tag: str,
+        payload: Any,
+        size: "int | None" = None,
+    ) -> None:
+        """The pre-pooling send path, preserved verbatim for A/B timing."""
+        if recipient not in self.nodes:
+            raise SimulationError(f"unknown recipient {recipient}")
+        channel = self.channel_classifier(sender, recipient)
+        if channel is None:
+            if self.strict_channels:
+                raise SimulationError(
+                    f"no channel from {sender} to {recipient}: the topology "
+                    "does not provide this link (see §III-B)"
+                )
+            channel = ChannelClass.PARTIAL
+        if self._crosses_partition(sender, recipient):
+            self.dropped_messages += 1
+            self.partition_dropped += 1
+            return
+        nbytes = size if size is not None else naive_payload_size(payload)
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            tag=tag,
+            payload=payload,
+            size=nbytes,
+            channel=channel,
+            send_time=self.now,
+            deliver_time=0.0,
+        )
+        if self.drop_filter is not None and self.drop_filter(message):
+            self.dropped_messages += 1
+            return
+        message.deliver_time = self.now + self._sample_delay(channel, message)
+        self.metrics.record_send(sender, nbytes)
+        heapq.heappush(
+            self._queue, (message.deliver_time, next(self._seq), message, None)
+        )
+
+
+# -- workload ----------------------------------------------------------------
+class NaiveWorkloadGenerator(WorkloadGenerator):
+    """The workload generator with its pre-optimization draw paths.
+
+    Overrides exactly the two methods the optimization touched: the
+    address bucket fill (any()-scan per candidate address) and the defect
+    draw (``Generator.choice`` over a Python string list).  Both are
+    RNG-stream-identical to the optimized versions, so same-seed instances
+    generate byte-identical transaction batches — asserted by the perf
+    case's equivalence check.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        users_per_shard: int,
+        rng: np.random.Generator,
+        endowment: int = 1_000,
+        fee: int = 1,
+    ) -> None:
+        super().__init__(m, users_per_shard, rng, endowment=endowment, fee=fee)
+        # Rebuild the address buckets the old way (no RNG involved, so
+        # redoing the work changes nothing but measures the old cost).
+        self.addresses_by_shard = [[] for _ in range(m)]
+        serial = 0
+        while any(
+            len(bucket) < users_per_shard for bucket in self.addresses_by_shard
+        ):
+            address = f"user-{serial:08d}"
+            serial += 1
+            shard = shard_of_address(address, m)
+            if len(self.addresses_by_shard[shard]) < users_per_shard:
+                self.addresses_by_shard[shard].append(address)
+
+    def _build_invalid(self, home: int, cross: bool) -> TaggedTx:
+        defect = str(
+            self.rng.choice(["double_spend", "overspend", "phantom_input"])
+        )
+        payee = self._pick_payee(home, cross)
+        if defect == "double_spend" and self._spent:
+            outpoint, owner, amount = self._spent[
+                int(self.rng.integers(0, len(self._spent)))
+            ]
+            tx = Transaction(
+                inputs=(TxInput(*outpoint),),
+                outputs=(TxOutput(payee, max(1, amount - self.fee)),),
+                nonce=self._next_nonce(),
+            )
+        elif defect == "overspend" and self._spendable[home]:
+            outpoint, owner, amount = self._spendable[home][
+                int(self.rng.integers(0, len(self._spendable[home])))
+            ]
+            tx = Transaction(
+                inputs=(TxInput(*outpoint),),
+                outputs=(TxOutput(payee, amount * 2 + 1),),
+                nonce=self._next_nonce(),
+            )
+        else:
+            defect = "phantom_input"
+            phantom = (
+                Transaction(
+                    inputs=(),
+                    outputs=(TxOutput("nobody", 1),),
+                    nonce=self._next_nonce(),
+                ).txid,
+                0,
+            )
+            tx = Transaction(
+                inputs=(TxInput(*phantom),),
+                outputs=(TxOutput(payee, 10),),
+                nonce=self._next_nonce(),
+            )
+        out_shard = shard_of_address(payee, self.m)
+        return TaggedTx(
+            tx=tx,
+            home_shard=home,
+            cross_shard=out_shard != home,
+            intended_valid=False,
+            defect=defect,
+        )

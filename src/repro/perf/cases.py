@@ -1,0 +1,390 @@
+"""The registered perf cases.
+
+Two families:
+
+* ``micro:*`` — A/B cases pitting an optimized hot path against its frozen
+  baseline from :mod:`repro.perf.baselines`.  Each carries an equivalence
+  ``check`` proving the two paths compute the same thing, so the measured
+  speedup can never come from computing less.
+* ``round:*`` — end-to-end cases driving one executable backend for whole
+  rounds (one per registry entry), timed across node scales by the CLI's
+  ``--scales`` axis.  These are the regression tripwires: a slowdown that
+  hides from every micro case still shows up here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.perf import baselines
+from repro.perf.harness import PerfCase, PerfSettings, register_perf_case
+
+
+# -- micro: batched MAC creation/verification --------------------------------
+def _mac_statement(settings: PerfSettings) -> tuple:
+    """A realistic certificate statement: a txid tuple the size of a
+    committee's TXList inside a CONFIRM frame."""
+    txids = tuple(
+        bytes([i % 256]) * 32 for i in range(settings.tx_per_committee * 4)
+    )
+    return ("CONFIRM", 7, ("VOTEROUND", "intra:0"), txids)
+
+
+@dataclass
+class _MacState:
+    pki: Any
+    keypairs: list
+    sigs: list
+    statement: tuple
+    members: set = field(default_factory=set)
+
+
+def _mac_setup(settings: PerfSettings) -> _MacState:
+    from repro.crypto.pki import PKI
+    from repro.crypto.signatures import sign
+
+    pki = PKI()
+    keypairs = [pki.generate(("perf", i)) for i in range(settings.committee)]
+    statement = _mac_statement(settings)
+    sigs = [sign(kp, statement) for kp in keypairs]
+    return _MacState(
+        pki=pki,
+        keypairs=keypairs,
+        sigs=sigs,
+        statement=statement,
+        members={kp.pk for kp in keypairs},
+    )
+
+
+def _mac_verify_run(state: _MacState) -> None:
+    from repro.crypto.signatures import signers_of
+
+    signers = signers_of(
+        state.pki, state.sigs, state.statement, members=state.members
+    )
+    assert len(signers) == len(state.sigs)
+
+
+def _mac_verify_baseline(state: _MacState) -> None:
+    signers = baselines.naive_verify_loop(
+        state.pki, state.sigs, state.statement, members=state.members
+    )
+    assert len(signers) == len(state.sigs)
+
+
+def _mac_verify_check(settings: PerfSettings) -> None:
+    from repro.crypto.signatures import signers_of
+
+    state = _mac_setup(settings)
+    batched = signers_of(
+        state.pki, state.sigs, state.statement, members=state.members
+    )
+    naive = baselines.naive_verify_loop(
+        state.pki, state.sigs, state.statement, members=state.members
+    )
+    if batched != naive:
+        raise AssertionError("signers_of disagrees with the scalar verify loop")
+
+
+register_perf_case(
+    PerfCase(
+        name="micro:mac_verify",
+        description=(
+            "certificate check: one statement against a committee-sized "
+            "signer set (signers_of vs per-signature verify loop)"
+        ),
+        category="micro",
+        setup=_mac_setup,
+        run=_mac_verify_run,
+        baseline=_mac_verify_baseline,
+        check=_mac_verify_check,
+        ops=lambda s: s.committee,
+    )
+)
+
+
+def _mac_sign_run(state: _MacState) -> None:
+    from repro.crypto.signatures import sign_many
+
+    sigs = sign_many(state.keypairs, state.statement)
+    assert len(sigs) == len(state.keypairs)
+
+
+def _mac_sign_baseline(state: _MacState) -> None:
+    sigs = baselines.naive_sign_loop(state.keypairs, state.statement)
+    assert len(sigs) == len(state.keypairs)
+
+
+def _mac_sign_check(settings: PerfSettings) -> None:
+    from repro.crypto.signatures import sign_many
+
+    state = _mac_setup(settings)
+    if sign_many(state.keypairs, state.statement) != baselines.naive_sign_loop(
+        state.keypairs, state.statement
+    ):
+        raise AssertionError("sign_many disagrees with the scalar sign loop")
+
+
+register_perf_case(
+    PerfCase(
+        name="micro:mac_sign",
+        description=(
+            "recipient-set signing: one statement under a committee of "
+            "keys (sign_many vs per-recipient sign loop)"
+        ),
+        category="micro",
+        setup=_mac_setup,
+        run=_mac_sign_run,
+        baseline=_mac_sign_baseline,
+        check=_mac_sign_check,
+        ops=lambda s: s.committee,
+    )
+)
+
+
+# -- micro: workload generation ----------------------------------------------
+@dataclass
+class _WorkloadState:
+    generator: Any
+    batch: int
+
+
+def _make_workload(settings: PerfSettings, naive: bool) -> Any:
+    from repro.ledger.workload import WorkloadGenerator
+
+    factory = baselines.NaiveWorkloadGenerator if naive else WorkloadGenerator
+    return factory(
+        m=settings.m,
+        users_per_shard=max(settings.users_per_shard, 48),
+        rng=np.random.default_rng(settings.seed),
+    )
+
+
+def _workload_setup(settings: PerfSettings) -> _WorkloadState:
+    return _WorkloadState(
+        generator=_make_workload(settings, naive=False), batch=settings.batch
+    )
+
+
+def _workload_setup_naive(settings: PerfSettings) -> _WorkloadState:
+    return _WorkloadState(
+        generator=_make_workload(settings, naive=True), batch=settings.batch
+    )
+
+
+def _workload_run(state: _WorkloadState) -> None:
+    batch = state.generator.generate_batch(
+        state.batch, cross_shard_ratio=0.3, invalid_ratio=0.5
+    )
+    state.generator.confirm_round({t.tx.txid for t in batch})
+
+
+def _workload_check(settings: PerfSettings) -> None:
+    fast = _make_workload(settings, naive=False)
+    naive = _make_workload(settings, naive=True)
+    for _ in range(3):
+        a = fast.generate_batch(64, cross_shard_ratio=0.3, invalid_ratio=0.5)
+        b = naive.generate_batch(64, cross_shard_ratio=0.3, invalid_ratio=0.5)
+        if [t.tx.txid for t in a] != [t.tx.txid for t in b] or [
+            t.defect for t in a
+        ] != [t.defect for t in b]:
+            raise AssertionError(
+                "optimized workload diverged from the naive generator"
+            )
+        fast.confirm_round({t.tx.txid for t in a})
+        naive.confirm_round({t.tx.txid for t in b})
+
+
+register_perf_case(
+    PerfCase(
+        name="micro:workload_gen",
+        description=(
+            "transaction batch generation with defect injection "
+            "(tuple-indexed defect draws vs Generator.choice)"
+        ),
+        category="micro",
+        setup=_workload_setup,
+        run=_workload_run,
+        baseline=_workload_run,
+        baseline_setup=_workload_setup_naive,
+        check=_workload_check,
+        ops=lambda s: s.batch,
+    )
+)
+
+
+# -- micro: message fabric ---------------------------------------------------
+@dataclass
+class _PumpState:
+    net: Any
+    nodes: list
+    payload: Any
+    messages: int
+    counter: dict = field(default_factory=dict)
+
+
+def _pump_payload() -> tuple:
+    """A protocol-shaped payload: signature + transaction + framing, so
+    ``payload_size`` recursion is exercised like a real TX_LIST send."""
+    from repro.crypto.pki import PKI
+    from repro.crypto.signatures import sign
+    from repro.ledger.transaction import Transaction, TxInput, TxOutput
+
+    pki = PKI()
+    kp = pki.generate("pump")
+    txs = tuple(
+        Transaction(
+            inputs=(TxInput(bytes([i]) * 32, 0),),
+            outputs=(
+                TxOutput("user-00000001", 5),
+                TxOutput("user-00000002", 3),
+            ),
+            nonce=i,
+        )
+        for i in range(8)
+    )
+    sig = sign(kp, ("PUMP", txs[0].txid))
+    return ("TX_LIST", txs, sig, 42)
+
+
+def _pump_state(settings: PerfSettings, naive: bool) -> _PumpState:
+    from repro.crypto.pki import PKI
+    from repro.net.node import ProtocolNode
+    from repro.net.params import NetworkParams
+    from repro.net.simulator import Network
+
+    factory = baselines.NaiveNetwork if naive else Network
+    kwargs = {} if naive else {"pool_envelopes": True}
+    net = factory(
+        NetworkParams(), np.random.default_rng(settings.seed), **kwargs
+    )
+    pki = PKI()
+    nodes = [ProtocolNode(i, pki.generate(("pump", i))) for i in range(8)]
+    counter = {"received": 0}
+
+    def on_msg(message: Any) -> None:
+        """Count a delivery (the pump only measures fabric overhead)."""
+        counter["received"] += 1
+
+    for node in nodes:
+        node.on("PUMP", on_msg)
+        net.add_node(node)
+    return _PumpState(
+        net=net,
+        nodes=nodes,
+        payload=_pump_payload(),
+        messages=settings.messages,
+        counter=counter,
+    )
+
+
+def _pump_setup(settings: PerfSettings) -> _PumpState:
+    return _pump_state(settings, naive=False)
+
+
+def _pump_setup_naive(settings: PerfSettings) -> _PumpState:
+    return _pump_state(settings, naive=True)
+
+
+def _pump_run(state: _PumpState) -> None:
+    net = state.net
+    fanout = len(state.nodes)
+    payload = state.payload
+    for i in range(state.messages):
+        net.send(i % fanout, (i + 1) % fanout, "PUMP", payload)
+        if net.pending >= 256:
+            net.run()
+    net.run()
+
+
+def _pump_check(settings: PerfSettings) -> None:
+    fast = _pump_state(settings, naive=False)
+    naive = _pump_state(settings, naive=True)
+    _pump_run(fast)
+    _pump_run(naive)
+    same_count = fast.counter["received"] == naive.counter["received"]
+    same_clock = abs(fast.net.now - naive.net.now) < 1e-12
+    same_bytes = (
+        fast.net.metrics.total_bytes() == naive.net.metrics.total_bytes()
+    )
+    if not (same_count and same_clock and same_bytes):
+        raise AssertionError(
+            "pooled/buffered fabric diverged from the naive fabric: "
+            f"count {fast.counter['received']} vs {naive.counter['received']}, "
+            f"clock {fast.net.now} vs {naive.net.now}"
+        )
+
+
+register_perf_case(
+    PerfCase(
+        name="micro:message_pump",
+        description=(
+            "message fabric throughput: envelope pooling + block-buffered "
+            "jitter + type-dispatched payload sizing vs per-message "
+            "allocation, scalar draws and introspective sizing"
+        ),
+        category="micro",
+        setup=_pump_setup,
+        run=_pump_run,
+        baseline=_pump_run,
+        baseline_setup=_pump_setup_naive,
+        check=_pump_check,
+        ops=lambda s: s.messages,
+    )
+)
+
+
+# -- round: end-to-end backend rounds ----------------------------------------
+def _round_setup_for(backend: str):
+    """Setup-factory for ``round:*`` cases: builds the named backend."""
+
+    def setup(settings: PerfSettings) -> Any:
+        """Construct the backend sized by the harness settings."""
+        from repro.backends import create_backend
+        from repro.core.config import ProtocolParams
+
+        params = ProtocolParams(
+            n=settings.n,
+            m=settings.m,
+            lam=settings.lam,
+            referee_size=settings.referee_size,
+            seed=settings.seed,
+            users_per_shard=settings.users_per_shard,
+            tx_per_committee=settings.tx_per_committee,
+            cross_shard_ratio=settings.cross_shard_ratio,
+            invalid_ratio=settings.invalid_ratio,
+        )
+        return create_backend(backend, params)
+
+    return setup
+
+
+def _round_run(ledger: Any) -> float:
+    report = ledger.run_round()
+    return float(report.sim_time)
+
+
+def _register_round_cases() -> None:
+    from repro.backends import BACKEND_REGISTRY
+
+    for backend in sorted(BACKEND_REGISTRY):
+        register_perf_case(
+            PerfCase(
+                name=f"round:{backend}",
+                description=(
+                    f"one full {backend} round: sortition, committees, "
+                    "consensus phases, packing (end-to-end tripwire)"
+                ),
+                category="round",
+                setup=_round_setup_for(backend),
+                run=_round_run,
+                ops=lambda s: 2 * s.m * s.tx_per_committee,
+                backend=backend,
+            )
+        )
+
+
+_register_round_cases()

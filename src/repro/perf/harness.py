@@ -1,0 +1,419 @@
+"""The perf-regression harness: registry, timing protocol, and artifact.
+
+The ROADMAP's north star is a system that runs "as fast as the hardware
+allows" — which is unfalsifiable without numbers.  This module gives every
+PR a way to *prove* its speed claims:
+
+* a :class:`PerfCase` registry of named, reproducible timing cases — micro
+  cases pitting an optimized hot path against its frozen pre-optimization
+  baseline (:mod:`repro.perf.baselines`), and end-to-end round cases
+  driving whole executable backends;
+* a warmup + repeat measurement protocol reporting median/p95/min
+  wall-clock (medians because timing distributions are long-tailed; p95 so
+  regressions hiding in the tail stay visible) plus simulated time for
+  round cases;
+* cProfile hotspot extraction, so "what got slower" comes with "where";
+* a calibration microbench that normalizes ops/sec against the host's
+  measured hash and interpreter speed, making ``BENCH_perf.json`` numbers
+  comparable across machines;
+* a canonical, schema-stable ``BENCH_perf.json`` artifact (fixed key set,
+  sorted keys) that CI uploads on every push — values vary with the host,
+  the schema never does.
+
+See ``docs/perf.md`` for the workflow and ``repro bench --help`` for the
+CLI surface.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import hashlib
+import io
+import json
+import platform
+import pstats
+import sys
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.exp.results import atomic_write_bytes
+
+#: Artifact schema identifier.  Bump only when the key set changes.
+BENCH_SCHEMA = "repro-bench/1"
+
+
+@dataclass(frozen=True)
+class PerfSettings:
+    """Knobs a perf case may read in its ``setup`` hook.
+
+    One settings object parameterizes a whole harness invocation; round
+    cases read the protocol sizing fields, micro cases read the batch
+    sizing fields.  ``scaled`` derives per-scale variants for the CLI's
+    ``--scales`` axis.
+    """
+
+    backend: str = "cycledger"
+    n: int = 48
+    m: int = 4
+    lam: int = 2
+    referee_size: int = 8
+    users_per_shard: int = 24
+    tx_per_committee: int = 6
+    cross_shard_ratio: float = 0.3
+    invalid_ratio: float = 0.1
+    seed: int = 0
+    committee: int = 48  # signer-set size for the MAC micro cases
+    batch: int = 400  # transactions per workload-generator invocation
+    messages: int = 2000  # sends per message-pump invocation
+
+    def scaled(self, n: int) -> "PerfSettings":
+        """This settings object resized to an ``n``-node deployment.
+
+        Keeps ``(n - referee_size) % m == 0`` (the committee-size
+        invariant) by shrinking the referee committee when needed.
+        """
+        referee = self.referee_size
+        while (n - referee) % self.m != 0:
+            referee -= 1
+        if referee <= 0:
+            raise ValueError(f"no valid referee size for n={n}, m={self.m}")
+        return replace(self, n=n, referee_size=referee)
+
+
+@dataclass(frozen=True)
+class PerfCase:
+    """One named, reproducible timing case.
+
+    ``setup(settings)`` builds fresh state; ``run(state)`` is the timed
+    body (its float return values, if any, are accumulated as simulated
+    time); ``baseline(state)`` is the frozen pre-optimization
+    implementation of the same work, timed under the identical protocol so
+    the artifact carries a measured speedup; ``check(state)`` asserts the
+    optimized and baseline paths produce equal results — a perf case that
+    got faster by computing something else must fail loudly.
+    """
+
+    name: str
+    description: str
+    category: str  # 'micro' | 'round'
+    setup: Callable[[PerfSettings], Any]
+    run: Callable[[Any], Any]
+    ops: Callable[[PerfSettings], int]
+    baseline: Callable[[Any], Any] | None = None
+    baseline_setup: Callable[[PerfSettings], Any] | None = None  # defaults to setup
+    check: Callable[[PerfSettings], None] | None = None
+    backend: str | None = None  # round cases: the backend they drive
+
+
+#: name -> registered perf case.  The CLI and CI resolve cases by name.
+PERF_REGISTRY: dict[str, PerfCase] = {}
+
+
+def register_perf_case(case: PerfCase) -> PerfCase:
+    """Register ``case`` under its name; duplicate names are a bug."""
+    if case.name in PERF_REGISTRY:
+        raise ValueError(f"perf case {case.name!r} is already registered")
+    PERF_REGISTRY[case.name] = case
+    return case
+
+
+def perf_case_names(category: str | None = None) -> list[str]:
+    """Sorted registered case names, optionally filtered by category."""
+    return sorted(
+        name
+        for name, case in PERF_REGISTRY.items()
+        if category is None or case.category == category
+    )
+
+
+# -- timing protocol ---------------------------------------------------------
+@dataclass(frozen=True)
+class TimingSummary:
+    """Distribution summary of one timed function's repeat samples."""
+
+    median: float
+    p95: float
+    minimum: float
+    mean: float
+    repeats: int
+
+    @classmethod
+    def from_samples(cls, samples: "list[float]") -> "TimingSummary":
+        """Summarize raw per-repeat wall-clock samples."""
+        arr = np.asarray(samples, dtype=float)
+        return cls(
+            median=float(np.median(arr)),
+            p95=float(np.percentile(arr, 95)),
+            minimum=float(arr.min()),
+            mean=float(arr.mean()),
+            repeats=len(samples),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering for the ``wall`` blocks of the artifact."""
+        return {
+            "median_s": self.median,
+            "p95_s": self.p95,
+            "min_s": self.minimum,
+            "mean_s": self.mean,
+            "repeats": self.repeats,
+        }
+
+
+def _time_fn(
+    fn: Callable[[Any], Any], state: Any, warmup: int, repeats: int
+) -> tuple[TimingSummary, float]:
+    """Run the warmup + repeat protocol on ``fn``.
+
+    Returns the wall-clock summary plus accumulated simulated time (the
+    sum of numeric return values over the *measured* repeats; 0.0 when the
+    case returns nothing numeric).
+    """
+    for _ in range(warmup):
+        fn(state)
+    samples: list[float] = []
+    sim_time = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = fn(state)
+        samples.append(time.perf_counter() - start)
+        if isinstance(out, (int, float)) and not isinstance(out, bool):
+            sim_time += float(out)
+    return TimingSummary.from_samples(samples), sim_time
+
+
+def _profile_hotspots(
+    fn: Callable[[Any], Any], state: Any, top: int
+) -> list[dict[str, Any]]:
+    """One profiled invocation of ``fn``; the top-``top`` functions by
+    cumulative time, with paths trimmed for cross-machine readability."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn(state)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    rows: list[dict[str, Any]] = []
+    for (filename, lineno, func), (
+        _cc,
+        ncalls,
+        tottime,
+        cumtime,
+        _callers,
+    ) in stats.stats.items():  # type: ignore[attr-defined]
+        parts = filename.replace("\\", "/").split("/")
+        where = "/".join(parts[-2:]) if len(parts) > 1 else filename
+        rows.append(
+            {
+                "function": f"{where}:{lineno}({func})",
+                "ncalls": int(ncalls),
+                "tottime_s": float(tottime),
+                "cumtime_s": float(cumtime),
+            }
+        )
+    rows.sort(key=lambda r: (-r["cumtime_s"], r["function"]))
+    return rows[:top]
+
+
+# -- calibration -------------------------------------------------------------
+def calibrate() -> dict[str, float]:
+    """Measure the host, so case throughputs can be normalized.
+
+    Two single-thread microbenches bracket what the simulator actually
+    stresses: SHA-256 over 1 KiB blocks (the crypto substrate) and a pure
+    Python attribute/arithmetic loop (interpreter dispatch).  Normalized
+    scores in the artifact are ``ops_per_sec / hash_ops_per_sec`` — a
+    dimensionless ratio that stays comparable when the same case runs on a
+    faster or slower machine.
+    """
+    block = b"\x00" * 1024
+    count = 4000
+    start = time.perf_counter()
+    for _ in range(count):
+        hashlib.sha256(block).digest()
+    hash_ops = count / (time.perf_counter() - start)
+
+    total = 0
+    loops = 200_000
+    start = time.perf_counter()
+    for i in range(loops):
+        total += i & 7
+    loop_ops = loops / (time.perf_counter() - start)
+    assert total >= 0
+    return {
+        "hash_1kib_ops_per_sec": float(hash_ops),
+        "pyloop_ops_per_sec": float(loop_ops),
+    }
+
+
+# -- execution ---------------------------------------------------------------
+@dataclass(frozen=True)
+class CaseResult:
+    """Everything one executed perf case produced."""
+
+    case: PerfCase
+    settings: PerfSettings
+    wall: TimingSummary
+    sim_time: float
+    ops: int
+    baseline_wall: TimingSummary | None
+    hotspots: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ops_per_sec(self) -> float:
+        """Case throughput: declared ops over the median wall time."""
+        return self.ops / self.wall.median if self.wall.median > 0 else 0.0
+
+    @property
+    def speedup(self) -> float | None:
+        """Measured baseline/optimized median ratio (>1 means faster)."""
+        if self.baseline_wall is None or self.wall.median == 0:
+            return None
+        return self.baseline_wall.median / self.wall.median
+
+    def to_dict(self, calibration: Mapping[str, float]) -> dict[str, Any]:
+        """One ``cases[]`` row of the artifact, normalized against the
+        host calibration."""
+        hash_ops = calibration.get("hash_1kib_ops_per_sec", 0.0)
+        return {
+            "name": self.case.name,
+            "category": self.case.category,
+            "backend": self.case.backend,
+            "description": self.case.description,
+            "n": self.settings.n,
+            "ops": self.ops,
+            "ops_per_sec": self.ops_per_sec,
+            "normalized_ops": (
+                self.ops_per_sec / hash_ops if hash_ops > 0 else 0.0
+            ),
+            "sim_time": self.sim_time,
+            "wall": self.wall.to_dict(),
+            "baseline_wall": (
+                None if self.baseline_wall is None else self.baseline_wall.to_dict()
+            ),
+            "speedup": self.speedup,
+            "hotspots": list(self.hotspots),
+        }
+
+
+def run_case(
+    case: PerfCase,
+    settings: PerfSettings,
+    warmup: int = 1,
+    repeats: int = 5,
+    profile: bool = False,
+    top: int = 10,
+) -> CaseResult:
+    """Execute one case under the warmup + repeat protocol.
+
+    The equivalence ``check`` (when present) runs first: a case whose
+    optimized and baseline paths disagree raises before any timing is
+    reported.  Baseline timing uses *fresh* state from the same settings,
+    so both arms start from identical conditions.
+    """
+    if case.check is not None:
+        case.check(settings)
+    state = case.setup(settings)
+    wall, sim_time = _time_fn(case.run, state, warmup, repeats)
+    baseline_wall: TimingSummary | None = None
+    if case.baseline is not None:
+        baseline_state = (case.baseline_setup or case.setup)(settings)
+        baseline_wall, _ = _time_fn(
+            case.baseline, baseline_state, warmup, repeats
+        )
+    hotspots: list[dict[str, Any]] = []
+    if profile:
+        hotspots = _profile_hotspots(case.run, case.setup(settings), top)
+    return CaseResult(
+        case=case,
+        settings=settings,
+        wall=wall,
+        sim_time=sim_time,
+        ops=case.ops(settings),
+        baseline_wall=baseline_wall,
+        hotspots=hotspots,
+    )
+
+
+def run_cases(
+    names: Iterable[str],
+    settings: PerfSettings,
+    scales: Iterable[int] = (),
+    warmup: int = 1,
+    repeats: int = 5,
+    profile: bool = False,
+    top: int = 10,
+    progress: Callable[[CaseResult], None] | None = None,
+) -> dict[str, Any]:
+    """Run the named cases and assemble the ``BENCH_perf.json`` payload.
+
+    Micro cases run once on ``settings``; round cases run once per entry
+    in ``scales`` (defaulting to ``settings.n``), so one invocation can
+    sweep node counts.  Unknown names fail with the known roster.
+    """
+    resolved: list[PerfCase] = []
+    for name in names:
+        case = PERF_REGISTRY.get(name)
+        if case is None:
+            known = ", ".join(sorted(PERF_REGISTRY))
+            raise ValueError(f"unknown perf case {name!r} (known: {known})")
+        resolved.append(case)
+    scale_list = list(scales) or [settings.n]
+    calibration = calibrate()
+    results: list[CaseResult] = []
+    for case in resolved:
+        case_scales = scale_list if case.category == "round" else [settings.n]
+        for n in case_scales:
+            result = run_case(
+                case,
+                settings.scaled(n),
+                warmup=warmup,
+                repeats=repeats,
+                profile=profile,
+                top=top,
+            )
+            results.append(result)
+            if progress is not None:
+                progress(result)
+    return bench_payload(results, calibration, settings)
+
+
+def bench_payload(
+    results: "list[CaseResult]",
+    calibration: Mapping[str, float],
+    settings: PerfSettings,
+) -> dict[str, Any]:
+    """The canonical ``BENCH_perf.json`` payload (fixed key set)."""
+    import repro
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "version": repro.__version__,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "implementation": sys.implementation.name,
+        },
+        "calibration": dict(calibration),
+        "settings": {
+            "backend": settings.backend,
+            "seed": settings.seed,
+            "m": settings.m,
+            "lam": settings.lam,
+        },
+        "cases": sorted(
+            (r.to_dict(calibration) for r in results),
+            key=lambda row: (row["name"], row["n"]),
+        ),
+    }
+
+
+def write_bench(path: str, payload: Mapping[str, Any]) -> None:
+    """Write the artifact with sorted keys and a trailing newline, so two
+    payloads with equal values are byte-equal files."""
+    atomic_write_bytes(
+        path, (json.dumps(payload, sort_keys=True, indent=2) + "\n").encode()
+    )

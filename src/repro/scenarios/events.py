@@ -38,10 +38,12 @@ class WindowedEvent:
             raise ValueError("end_round must be >= start_round")
 
     def active(self, round_number: int) -> bool:
+        """Whether this event applies in ``round_number`` (inclusive window)."""
         return self.start_round <= round_number <= self.end_round
 
     @property
     def last_active_round(self) -> int:
+        """The last round this event can still act in."""
         return self.end_round
 
 
@@ -122,6 +124,7 @@ class LeaderCrash:
 
     @property
     def last_active_round(self) -> int:
+        """The last round a crashed leader is still forced offline."""
         return self.round + self.duration - 1
 
 
@@ -147,6 +150,8 @@ class AdversaryRamp(WindowedEvent):
                 raise ValueError("fractions must be in [0, 1]")
 
     def fraction_at(self, round_number: int) -> float:
+        """The interpolated corrupted fraction this round (clamped to the
+        ramp window's endpoints)."""
         if self.end_round == self.start_round:
             return self.end_fraction
         progress = (round_number - self.start_round) / (
@@ -188,12 +193,14 @@ def _tuplify(value: Any) -> Any:
 
 
 def event_to_dict(event: Any) -> dict[str, Any]:
+    """JSON-ready rendering of one event (kind tag plus its fields)."""
     if type(event) not in EVENT_TYPES.values():
         raise TypeError(f"not a scenario event: {event!r}")
     return {"kind": event.kind, **asdict(event)}
 
 
 def event_from_dict(data: Mapping[str, Any]) -> Any:
+    """Rebuild an event from :func:`event_to_dict` output (JSON round-trip)."""
     payload = dict(data)
     kind = payload.pop("kind", None)
     cls = EVENT_TYPES.get(kind)

@@ -64,6 +64,7 @@ class Scenario:
         return self._last_round
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering (inverse of :meth:`from_dict`)."""
         return {
             "name": self.name,
             "events": [event_to_dict(e) for e in self.events],
@@ -71,6 +72,7 @@ class Scenario:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output."""
         return cls(
             name=data["name"],
             events=tuple(event_from_dict(e) for e in data["events"]),
@@ -89,6 +91,8 @@ class ScenarioDriver:
 
     # -- wiring ------------------------------------------------------------
     def install(self, ledger: "CycLedger") -> None:
+        """Attach this driver's fault hooks to ``ledger``'s pipeline (a
+        pipeline accepts exactly one driver)."""
         pipeline = ledger.pipeline
         if pipeline.scenario_driver is not None:
             # Hooks are append-only: a second driver on the same pipeline

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Relative-link checker for README.md and docs/ (the CI docs job).
+
+Finds every markdown link/image whose target is a relative path (external
+http(s)/mailto links and pure anchors are skipped), resolves it against
+the linking file, and fails if the target does not exist.  Zero
+dependencies, so the CI job needs nothing but a checkout.
+
+Usage: python tools/check_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline markdown links/images: [text](target) / ![alt](target)
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_markdown(root: Path):
+    """The documentation surface the checker covers."""
+    readme = root / "README.md"
+    if readme.exists():
+        yield readme
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """All broken relative links in one markdown file."""
+    errors = []
+    for match in _LINK.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(root)}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    """Check every covered file; print findings; non-zero on breakage."""
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    errors: list[str] = []
+    checked = 0
+    for path in iter_markdown(root):
+        checked += 1
+        errors.extend(check_file(path, root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} markdown files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
