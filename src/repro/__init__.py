@@ -47,25 +47,28 @@ Quickstart::
 """
 
 from repro.core.config import ProtocolParams
-from repro.core.pipeline import Phase, PhasePipeline
+from repro.core.pipeline import OverlapScheduler, Phase, PhasePipeline
 from repro.backends import BACKEND_REGISTRY, LedgerBackend, create_backend
 from repro.core.protocol import CycLedger, RoundReport, build_default_pipeline
+from repro.ledger.workload import TxMempool
 from repro.nodes.adversary import AdversaryConfig, AdversaryController
 from repro.scenarios import SCENARIO_PRESETS, Scenario
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BACKEND_REGISTRY",
     "CycLedger",
     "LedgerBackend",
     "create_backend",
+    "OverlapScheduler",
     "Phase",
     "PhasePipeline",
     "ProtocolParams",
     "RoundReport",
     "SCENARIO_PRESETS",
     "Scenario",
+    "TxMempool",
     "AdversaryConfig",
     "AdversaryController",
     "build_default_pipeline",

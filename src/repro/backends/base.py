@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.core.config import ProtocolParams
 from repro.core.node import CycNode
-from repro.core.pipeline import PhasePipeline
+from repro.core.pipeline import OverlapScheduler, PhasePipeline
 from repro.core.sortition import REFEREE_ROLE, crypto_sort, rank_select
 from repro.core.structures import CommitteeSpec, RoundContext
 from repro.crypto.hashing import H
@@ -40,7 +40,7 @@ from repro.ledger.chain import GENESIS_PREV_HASH, Block, Chain
 from repro.ledger.state import ShardState
 from repro.ledger.transaction import shard_of_address
 from repro.ledger.utxo import ValidationResult, validate_batch, validate_transaction
-from repro.ledger.workload import TaggedTx, WorkloadGenerator
+from repro.ledger.workload import MempoolStats, TaggedTx, TxMempool, WorkloadGenerator
 from repro.metrics.counters import MetricsCollector
 from repro.net.simulator import Network
 from repro.net.topology import Channels, build_cycledger_topology
@@ -71,6 +71,8 @@ class LedgerBackend(Protocol):
     rewards: dict[str, float]
     chain: Chain
     metrics: MetricsCollector
+    mempool: TxMempool
+    overlap_scheduler: OverlapScheduler
 
     def run_round(self) -> Any:
         """Execute one protocol round and return its round report."""
@@ -120,6 +122,15 @@ class SimRoundReport:
     blockgen_elapsed: float = 0.0
     blockgen_subblocks: int = 0
     blockgen_width: int = 0
+    # Continuous-timeline window of this round under the active overlap
+    # mode (timeline_end - timeline_start == sim_time when overlap=none),
+    # plus the persistent-mempool queue health at settlement.
+    timeline_start: float = 0.0
+    timeline_end: float = 0.0
+    queue_depth: int = 0
+    tx_evicted: int = 0
+    tx_age_mean: float = 0.0
+    tx_age_max: float = 0.0
 
 
 @dataclass
@@ -182,6 +193,18 @@ def init_shared_state(
         users_per_shard=params.users_per_shard,
         rng=np.random.default_rng(workload_ss),
     )
+    # The persistent transaction queue between the generator and the round
+    # loop.  In the default legacy mode it is a byte-exact pass-through of
+    # the historical draw-a-batch-per-round model; with a poisson arrival
+    # process transactions survive unpacked rounds and age on the
+    # continuous clock.
+    ledger.mempool = TxMempool(
+        ledger.workload,
+        process=params.arrival_process,
+        rate=params.arrival_rate,
+        capacity=params.mempool_capacity,
+        max_age_rounds=params.mempool_max_age,
+    )
     # The network fabric and channel maps are built once and rewound per
     # round (reset / in-place topology refill) instead of reallocated.
     # Envelope pooling is safe here: every handler on the orchestrated
@@ -227,6 +250,13 @@ def attach_pipeline(
     ledger.pipeline = pipeline if pipeline is not None else default_factory()
     if ledger.pipeline.owner is None:
         ledger.pipeline.owner = ledger
+    # Every backend owns an overlap scheduler: it composes the measured
+    # per-round phase spans into the continuous end-to-end timeline.  In
+    # "semicommit" mode phases annotated with needs_prev (only CycLedger's
+    # config/semicommit prefix carries such annotations) start before the
+    # previous round finishes; pipelines without annotations serialize
+    # regardless of mode.
+    ledger.overlap_scheduler = OverlapScheduler(ledger.params.overlap)
     ledger.scenario = scenario
     ledger.scenario_driver = None
     if scenario is not None:
@@ -382,12 +412,14 @@ class CommitteeSimBackend:
         net.reset(metrics=round_metrics)
         net.set_channel_classifier(channels.classify)
 
-        batch = self.workload.generate_batch(
-            count=2 * params.m * params.tx_per_committee,
+        arrivals = self.mempool.admit(
+            self.round_number,
+            net.global_now,
+            legacy_count=2 * params.m * params.tx_per_committee,
             cross_shard_ratio=params.cross_shard_ratio,
             invalid_ratio=params.invalid_ratio,
         )
-        mempools = self.workload.by_home_shard(batch)
+        mempools = self.mempool.offered()
 
         ctx = RoundContext(
             params=params,
@@ -413,12 +445,20 @@ class CommitteeSimBackend:
         packed_ids = (
             {tx.txid for tx in pack.block.transactions} if pack.block else set()
         )
-        self.workload.confirm_round(packed_ids)
+        queue_stats: MempoolStats = self.mempool.settle(
+            packed_ids, self.round_number, net.global_now
+        )
+        window = self.overlap_scheduler.observe_round(
+            self.round_number,
+            tuple(self.pipeline),
+            self.pipeline.last_timings,
+            net.now,
+        )
 
         report = SimRoundReport(
             round_number=self.round_number,
             block=pack.block,
-            submitted=len(batch),
+            submitted=arrivals,
             packed=pack.packed,
             cross_packed=pack.cross_packed,
             messages=round_metrics.total_messages(),
@@ -427,6 +467,12 @@ class CommitteeSimBackend:
             reliable_channels=channels.total_reliable(),
             dropped=net.dropped_messages,
             phase_sim_times=dict(self.pipeline.last_timings),
+            timeline_start=window.start,
+            timeline_end=window.end,
+            queue_depth=queue_stats.depth,
+            tx_evicted=queue_stats.evicted,
+            tx_age_mean=queue_stats.age_mean,
+            tx_age_max=queue_stats.age_max,
         )
         self._decorate_report(report, ctx, phase_reports)
         self.metrics.merge(round_metrics)

@@ -23,25 +23,42 @@ import numpy as np
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro import AdversaryConfig, CycLedger, ProtocolParams
 
-    params = ProtocolParams(
-        n=args.n, m=args.m, lam=args.lam, referee_size=args.referee,
-        seed=args.seed, users_per_shard=args.users,
-        tx_per_committee=args.txs, cross_shard_ratio=args.cross,
-        invalid_ratio=args.invalid,
-    )
+    try:
+        params = ProtocolParams(
+            n=args.n, m=args.m, lam=args.lam, referee_size=args.referee,
+            seed=args.seed, users_per_shard=args.users,
+            tx_per_committee=args.txs, cross_shard_ratio=args.cross,
+            invalid_ratio=args.invalid, overlap=args.overlap,
+            arrival_process=(
+                "poisson" if args.arrival_rate is not None else "legacy"
+            ),
+            arrival_rate=args.arrival_rate or 0.0,
+            mempool_capacity=args.mempool_cap,
+            mempool_max_age=args.mempool_age,
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
     adversary = AdversaryConfig(
         fraction=args.adversary, leader_strategy=args.leader_strategy,
         voter_strategy=args.voter_strategy,
     )
     ledger = CycLedger(params, adversary=adversary)
     print(f"{'round':>5} {'packed':>6} {'cross':>5} {'recov':>5} "
-          f"{'msgs':>8} {'time':>7}")
-    for report in ledger.run(args.rounds):
+          f"{'msgs':>8} {'time':>7} {'queue':>5} {'evict':>5}")
+    reports = ledger.run(args.rounds)
+    for report in reports:
         print(f"{report.round_number:>5} {report.packed:>6} "
               f"{report.cross_packed:>5} {report.recoveries:>5} "
-              f"{report.messages:>8} {report.sim_time:>7.1f}")
+              f"{report.messages:>8} {report.sim_time:>7.1f} "
+              f"{report.queue_depth:>5} {report.tx_evicted:>5}")
     print(f"chain {len(ledger.chain)} blocks, valid={ledger.chain.verify()}, "
           f"{ledger.total_packed()} transactions")
+    sequential = sum(r.sim_time for r in reports)
+    e2e = max((r.timeline_end for r in reports), default=0.0)
+    gain = (1.0 - e2e / sequential) if sequential else 0.0
+    print(f"end-to-end sim latency {e2e:.1f} "
+          f"(overlap={params.overlap}, sequential {sequential:.1f}, "
+          f"pipelining gain {gain:.1%})")
     return 0
 
 
@@ -212,6 +229,24 @@ def _build_sweep_spec(args: argparse.Namespace):
             "cross_shard_ratio": args.cross,
             "invalid_ratio": args.invalid,
         }
+        if args.overlaps and args.overlap is not None:
+            raise ValueError("give --overlap or --overlaps, not both")
+        if "overlap" in grid and (args.overlaps or args.overlap is not None):
+            raise ValueError(
+                "overlap is already a --grid axis; drop "
+                "--overlap/--overlaps"
+            )
+        if args.overlaps:
+            grid["overlap"] = tuple(args.overlaps.split(","))
+        elif args.overlap is not None:
+            base["overlap"] = args.overlap
+        if args.arrival_rate is not None:
+            base["arrival_process"] = "poisson"
+            base["arrival_rate"] = args.arrival_rate
+        if args.mempool_age:
+            base["mempool_max_age"] = args.mempool_age
+        if args.mempool_cap:
+            base["mempool_capacity"] = args.mempool_cap
         base = {k: v for k, v in base.items() if k not in grid}
         scenario_grid: tuple = ()
         if args.scenarios:
@@ -436,6 +471,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--adversary", type=float, default=0.0)
     run.add_argument("--leader-strategy", default="equivocating_leader")
     run.add_argument("--voter-strategy", default="contrary_voter")
+    run.add_argument("--overlap", default="none",
+                     choices=("none", "semicommit"),
+                     help="timeline composition: serialize rounds, or "
+                          "overlap round r+1's config+semicommit prefix "
+                          "with round r's block suffix")
+    run.add_argument("--arrival-rate", type=float, default=None,
+                     help="mean tx arrivals per round; enables the "
+                          "persistent poisson mempool (default: legacy "
+                          "one-batch-per-round workload)")
+    run.add_argument("--mempool-age", type=int, default=0,
+                     help="rounds a queued tx may wait before TTL "
+                          "eviction (0 = never)")
+    run.add_argument("--mempool-cap", type=int, default=0,
+                     help="max queued txs before capacity backpressure "
+                          "evicts the oldest (0 = unbounded)")
     run.set_defaults(func=_cmd_run)
 
     scenario = sub.add_parser(
@@ -483,6 +533,22 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--txs", type=int, default=6)
     sweep.add_argument("--cross", type=float, default=0.25)
     sweep.add_argument("--invalid", type=float, default=0.1)
+    sweep.add_argument("--overlap", default=None,
+                       choices=("none", "semicommit"),
+                       help="timeline composition for every point "
+                            "(default: the ProtocolParams default, none)")
+    sweep.add_argument("--overlaps", default=None,
+                       help="comma-separated overlap axis for the paired "
+                            "sequential-vs-pipelined latency comparison "
+                            "(e.g. none,semicommit)")
+    sweep.add_argument("--arrival-rate", type=float, default=None,
+                       help="mean tx arrivals per round; switches every "
+                            "point to the persistent poisson mempool")
+    sweep.add_argument("--mempool-age", type=int, default=0,
+                       help="mempool TTL in rounds (0 = never evict)")
+    sweep.add_argument("--mempool-cap", type=int, default=0,
+                       help="mempool capacity before backpressure "
+                            "eviction (0 = unbounded)")
     sweep.add_argument("--capacity-preset", default=None,
                        help="named capacity function (uniform/tiered/weak_heavy)")
     sweep.add_argument("--scenario", default=None,

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.pipeline import OVERLAP_MODES
+from repro.ledger.workload import ARRIVAL_PROCESSES
 from repro.net.params import NetworkParams
 
 
@@ -41,11 +43,54 @@ class ProtocolParams:
     prefilter_cross_shard: bool = False
     parallel_block_generation: bool = False
 
+    # Continuous-time execution core (§III-E / §V pipelining):
+    # ``overlap`` selects how the end-to-end timeline composes round
+    # phases — "none" serializes rounds (the historical model), while
+    # "semicommit" schedules round r+1's committee-configuration +
+    # semi-commitment prefix concurrently (in sim time) with round r's
+    # block-generation suffix.  Execution and final state are identical
+    # in both modes; only the reported timeline differs.
+    overlap: str = "none"
+    # ``arrival_process`` selects the mempool feed: "legacy" draws one
+    # fixed batch per round (byte-exact historical RNG consumption);
+    # "poisson" admits Generator.poisson(arrival_rate) transactions per
+    # round into a persistent FIFO mempool with TTL/capacity eviction.
+    arrival_process: str = "legacy"
+    arrival_rate: float = 0.0  # mean arrivals per round (poisson mode)
+    mempool_capacity: int = 0  # max queued txs, 0 = unbounded
+    mempool_max_age: int = 0  # rounds a tx may wait, 0 = never expire
+
     net: NetworkParams = field(default_factory=NetworkParams)
 
     def __post_init__(self) -> None:
         if self.m <= 0 or self.n <= 0:
             raise ValueError("n and m must be positive")
+        if self.overlap not in OVERLAP_MODES:
+            raise ValueError(
+                f"unknown overlap mode {self.overlap!r} "
+                f"(known: {', '.join(OVERLAP_MODES)})"
+            )
+        if self.arrival_process not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"unknown arrival process {self.arrival_process!r} "
+                f"(known: {', '.join(ARRIVAL_PROCESSES)})"
+            )
+        if self.arrival_process == "poisson" and self.arrival_rate <= 0.0:
+            raise ValueError("poisson arrivals need a positive arrival_rate")
+        if self.mempool_capacity < 0 or self.mempool_max_age < 0:
+            raise ValueError(
+                "mempool_capacity and mempool_max_age must be >= 0"
+            )
+        if self.arrival_process == "legacy" and (
+            self.mempool_capacity or self.mempool_max_age or self.arrival_rate
+        ):
+            # Legacy settlement clears the queue every round, so these
+            # knobs would be silent no-ops — reject rather than mislead.
+            raise ValueError(
+                "arrival_rate/mempool_capacity/mempool_max_age require "
+                "arrival_process='poisson' (legacy mode clears the queue "
+                "every round)"
+            )
         if self.referee_size < 3:
             raise ValueError("referee committee needs at least 3 members")
         if (self.n - self.referee_size) % self.m != 0:

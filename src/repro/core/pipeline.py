@@ -23,12 +23,32 @@ Hooks come in two granularities:
 Timings use the network's simulated clock, never the wall clock, so a
 :class:`~repro.core.protocol.RoundReport` stays byte-identical across runs
 of the same seed.
+
+Phases additionally carry **data-dependency annotations** (``needs`` for
+same-round inputs, ``needs_prev`` for previous-round inputs).  The
+:class:`OverlapScheduler` composes each round's measured phase spans into a
+continuous end-to-end timeline on those annotations: in ``none`` mode
+rounds serialize (the historical model), while in ``semicommit`` mode a
+phase whose ``needs_prev`` names specific previous-round phases may start
+as soon as those finish — which lets round r+1's committee-configuration +
+semi-commitment prefix run concurrently (in sim time) with round r's
+block-generation suffix, the paper's signature pipelining claim (§III-E,
+§V).  The scheduler only re-times what already ran; execution order, RNG
+consumption and final state are identical in every mode.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Sequence,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.protocol import CycLedger, RoundReport
@@ -42,18 +62,34 @@ RoundEndHook = Callable[["CycLedger", "RoundReport"], None]
 PRE = "pre"
 POST = "post"
 
+#: Overlap modes understood by :class:`OverlapScheduler` (and by
+#: ``ProtocolParams.overlap``).
+OVERLAP_NONE = "none"
+OVERLAP_SEMICOMMIT = "semicommit"
+OVERLAP_MODES = (OVERLAP_NONE, OVERLAP_SEMICOMMIT)
+
 
 @dataclass(frozen=True)
 class Phase:
-    """One protocol phase: a name and its executor.
+    """One protocol phase: a name, its executor, and its data dependencies.
 
     Executors read their inputs from the :class:`RoundContext` (including
     earlier phases' reports via ``ctx.phase_reports``) and return a report
     object, which the pipeline stores back under ``name``.
+
+    ``needs`` names the same-round phases whose outputs this phase reads
+    (``None`` means "the immediately preceding phase", the plain chain).
+    ``needs_prev`` names previous-round phases whose outputs this phase
+    reads; a phase with an explicit ``needs_prev`` does NOT implicitly wait
+    for the previous round to finish, which is what lets the overlap
+    scheduler start it early.  Annotations are static facts about data
+    flow — whether they are exploited is the scheduler's mode decision.
     """
 
     name: str
     run: PhaseFn
+    needs: tuple[str, ...] | None = None
+    needs_prev: tuple[str, ...] = ()
 
 
 class PhasePipeline:
@@ -154,3 +190,154 @@ class PhasePipeline:
             for hook in self._phase_hooks.get((phase.name, POST), ()):
                 hook(ctx, phase.name)
         return dict(ctx.phase_reports)
+
+
+# -- the continuous-time overlap scheduler -----------------------------------
+@dataclass(frozen=True)
+class PhaseWindow:
+    """One phase's span on the continuous cross-round timeline."""
+
+    name: str
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class RoundWindow:
+    """One round's span on the continuous cross-round timeline."""
+
+    round_number: int
+    start: float
+    end: float
+    phases: tuple[PhaseWindow, ...]
+
+    @property
+    def span(self) -> float:
+        """Wall-to-wall sim time this round occupied on the timeline."""
+        return self.end - self.start
+
+
+class OverlapScheduler:
+    """Composes measured per-round phase spans into an end-to-end timeline.
+
+    The simulator executes rounds one at a time (identical state and RNG
+    consumption in every mode); this scheduler re-times the measured phase
+    spans on the continuous clock according to the phases' data-dependency
+    annotations:
+
+    * ``none`` — every round starts when the previous one ends; the
+      timeline is the plain cumulative sum of round sim-times (and each
+      round's window length equals its ``sim_time`` exactly).
+    * ``semicommit`` — a phase with ``needs_prev`` starts at the latest
+      end of those previous-round phases instead of waiting for the whole
+      previous round; same-round ``needs`` edges still apply.  For the
+      CycLedger pipeline that overlaps round r+1's config + semi-commit
+      prefix with round r's block-generation suffix (§III-E, §V), so the
+      makespan drops by ≈ min(block span, prefix span) per round pair.
+
+    ``makespan`` after R observed rounds is the end-to-end sim-time
+    latency the deployment would report — the quantity the paper's
+    pipelining argument is about.
+    """
+
+    def __init__(self, mode: str = OVERLAP_NONE) -> None:
+        if mode not in OVERLAP_MODES:
+            raise ValueError(
+                f"unknown overlap mode {mode!r} "
+                f"(known: {', '.join(OVERLAP_MODES)})"
+            )
+        self.mode = mode
+        self._prev_ends: dict[str, float] = {}
+        self._prev_round_end = 0.0
+        self._validated_names: tuple[str, ...] | None = None
+        #: end of the latest-finishing scheduled phase so far (the
+        #: end-to-end latency of everything observed).
+        self.makespan = 0.0
+
+    def _validate_annotations(self, phases: Sequence[Phase]) -> None:
+        """Reject dependency annotations naming unknown phases.
+
+        A typo'd ``needs_prev`` would otherwise resolve to the timeline
+        origin forever and silently deflate every round window (inflating
+        the reported pipelining gain); a typo'd ``needs`` would silently
+        drop the same-round ordering edge.  Validated once per phase
+        roster, so the per-round cost is one tuple comparison.
+        """
+        names = tuple(p.name for p in phases)
+        if names == self._validated_names:
+            return
+        seen: set[str] = set()
+        all_names = set(names)
+        for phase in phases:
+            if phase.needs is not None:
+                for dep in phase.needs:
+                    if dep not in seen:
+                        raise ValueError(
+                            f"phase {phase.name!r} needs {dep!r}, which is "
+                            "not an earlier phase of this pipeline"
+                        )
+            for dep in phase.needs_prev:
+                if dep not in all_names:
+                    raise ValueError(
+                        f"phase {phase.name!r} needs_prev {dep!r}, which "
+                        "is not a phase of this pipeline"
+                    )
+            seen.add(phase.name)
+        self._validated_names = names
+
+    def observe_round(
+        self,
+        round_number: int,
+        phases: Sequence[Phase],
+        durations: Mapping[str, float],
+        round_sim_time: float,
+    ) -> RoundWindow:
+        """Place one executed round's phases on the timeline.
+
+        ``durations`` is the pipeline's ``last_timings`` mapping;
+        ``round_sim_time`` is the round's total span on the round-local
+        clock (``net.now`` at round end), which anchors the ``none``-mode
+        window length exactly (no float drift against ``sim_time``).
+        """
+        self._validate_annotations(phases)
+        base = self._prev_round_end
+        ends: dict[str, float] = {}
+        windows: list[PhaseWindow] = []
+        for index, phase in enumerate(phases):
+            candidates: list[float] = []
+            if phase.needs is not None:
+                candidates += [
+                    ends[dep] for dep in phase.needs if dep in ends
+                ]
+            elif index > 0:
+                candidates.append(windows[-1].end)
+            if self.mode == OVERLAP_NONE:
+                if index == 0:
+                    candidates.append(base)
+            elif phase.needs_prev:
+                # Unseen deps (only possible in the very first observed
+                # round) anchor at the timeline base, never before it.
+                candidates += [
+                    self._prev_ends.get(dep, base)
+                    for dep in phase.needs_prev
+                ]
+            elif index == 0:
+                candidates.append(base)
+            start = max(candidates, default=base)
+            end = start + durations.get(phase.name, 0.0)
+            ends[phase.name] = end
+            windows.append(PhaseWindow(phase.name, start, end))
+        if self.mode == OVERLAP_NONE:
+            start, end = base, base + round_sim_time
+        else:
+            start = min((w.start for w in windows), default=base)
+            end = max((w.end for w in windows), default=base)
+        self._prev_ends = ends
+        self._prev_round_end = end
+        self.makespan = max(self.makespan, end)
+        return RoundWindow(
+            round_number=round_number,
+            start=start,
+            end=end,
+            phases=tuple(windows),
+        )

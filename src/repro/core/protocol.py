@@ -1,12 +1,21 @@
 """The CycLedger protocol orchestrator.
 
-Drives full rounds over a fresh network simulator per round, with persistent
-chain, UTXO state, reputation, rewards, and workload across rounds.  Phase
-order per §III-E:
+Drives full rounds over one long-lived network simulator shared across
+rounds (rewound in place each round, with the elapsed span folded into the
+continuous ``global_now`` clock), with persistent chain, UTXO state,
+reputation, rewards, mempool, and workload across rounds.  Phase order per
+§III-E:
 
     committee configuration → semi-commitment exchange → intra-committee
     consensus → inter-committee consensus → reputation updating →
     referee/leader/partial-set selection → block generation & propagation
+
+The configuration + semi-commitment prefix of round r+1 depends only on
+round r's selection outcome, never on its block — the data-flow fact behind
+the paper's pipelining claim.  The phases below carry those dependency
+annotations, and the :class:`~repro.core.pipeline.OverlapScheduler`
+(``ProtocolParams.overlap="semicommit"``) uses them to report the
+overlapped end-to-end timeline.
 """
 
 from __future__ import annotations
@@ -62,12 +71,30 @@ def _run_block_phase(ctx) -> BlockReport:
 
 
 def build_default_pipeline() -> PhasePipeline:
-    """The paper's seven-phase round, as a fresh (mutable) pipeline."""
+    """The paper's seven-phase round, as a fresh (mutable) pipeline.
+
+    The cross-round ``needs_prev`` annotations encode §III-E's data flow:
+    committee configuration of round r+1 reads only round r's selection
+    outcome (roles and beacon randomness), while intra-committee consensus
+    must wait for round r's block (committees validate against the
+    post-block UTXO view).  Under ``overlap=semicommit`` the scheduler
+    therefore runs the config + semi-commit prefix of r+1 concurrently (in
+    sim time) with the block-generation suffix of r.
+    """
     return PhasePipeline(
         (
-            Phase(PHASE_CONFIG, run_committee_configuration),
+            Phase(
+                PHASE_CONFIG,
+                run_committee_configuration,
+                needs_prev=(PHASE_SELECTION,),
+            ),
             Phase(PHASE_SEMICOMMIT, run_semi_commitment_exchange),
-            Phase(PHASE_INTRA, run_intra_consensus),
+            Phase(
+                PHASE_INTRA,
+                run_intra_consensus,
+                needs=(PHASE_SEMICOMMIT,),
+                needs_prev=(PHASE_BLOCK,),
+            ),
             Phase(PHASE_INTER, run_inter_consensus),
             Phase(PHASE_REPUTATION, run_reputation_updating),
             Phase(PHASE_SELECTION, run_selection),
@@ -104,6 +131,15 @@ class RoundReport:
     # deterministic per seed.
     phase_sim_times: dict[str, float] = field(default_factory=dict)
     recovery_times: tuple[float, ...] = ()
+    # Continuous-timeline window of this round under the active overlap
+    # mode (timeline_end - timeline_start == sim_time when overlap=none),
+    # plus the persistent-mempool queue health at settlement.
+    timeline_start: float = 0.0
+    timeline_end: float = 0.0
+    queue_depth: int = 0
+    tx_evicted: int = 0
+    tx_age_mean: float = 0.0
+    tx_age_max: float = 0.0
 
     # -- flat report contract (repro.backends.base.SimRoundReport) -----------
     # Every executable backend's reports expose these attributes, so the
@@ -276,12 +312,14 @@ class CycLedger:
         net.reset(metrics=round_metrics)
         net.set_channel_classifier(channels.classify)
 
-        batch = self.workload.generate_batch(
-            count=2 * params.m * params.tx_per_committee,
+        arrivals = self.mempool.admit(
+            self.round_number,
+            net.global_now,
+            legacy_count=2 * params.m * params.tx_per_committee,
             cross_shard_ratio=params.cross_shard_ratio,
             invalid_ratio=params.invalid_ratio,
         )
-        mempools = self.workload.by_home_shard(batch)
+        mempools = self.mempool.offered()
 
         ctx = RoundContext(
             params=params,
@@ -313,7 +351,15 @@ class CycLedger:
             if block_report.block
             else set()
         )
-        self.workload.confirm_round(packed_ids)
+        queue_stats = self.mempool.settle(
+            packed_ids, self.round_number, net.global_now
+        )
+        window = self.overlap_scheduler.observe_round(
+            self.round_number,
+            tuple(self.pipeline),
+            self.pipeline.last_timings,
+            net.now,
+        )
 
         cross_ids = {
             t.tx.txid for pool in mempools for t in pool if t.cross_shard
@@ -328,7 +374,7 @@ class CycLedger:
             reputation=phase_reports[PHASE_REPUTATION],
             selection=selection_report,
             blockgen=block_report,
-            submitted=len(batch),
+            submitted=arrivals,
             packed=block_report.packed,
             cross_packed=len(packed_ids & cross_ids),
             recoveries=len(ctx.recoveries),
@@ -339,6 +385,12 @@ class CycLedger:
             dropped=net.dropped_messages,
             phase_sim_times=dict(self.pipeline.last_timings),
             recovery_times=tuple(e.sim_time for e in ctx.recoveries),
+            timeline_start=window.start,
+            timeline_end=window.end,
+            queue_depth=queue_stats.depth,
+            tx_evicted=queue_stats.evicted,
+            tx_age_mean=queue_stats.age_mean,
+            tx_age_max=queue_stats.age_max,
         )
         self.metrics.merge(round_metrics)
         self.reports.append(report)

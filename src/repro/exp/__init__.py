@@ -24,6 +24,7 @@ with canonical JSON/CSV serialization.
 from repro.exp.presets import (
     CAPACITY_PRESETS,
     backend_compare_spec,
+    overlap_compare_spec,
     scenario_compare_spec,
     smoke_spec,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "derive_point_seed",
+    "overlap_compare_spec",
     "run_point",
     "run_sweep",
     "scenario_compare_spec",

@@ -78,6 +78,7 @@ _SUMMED_ROUND_FIELDS = (
     "messages",
     "bytes",
     "dropped",
+    "tx_evicted",
     "intra_accepted",
     "inter_accepted",
     "inter_voted",
@@ -115,6 +116,14 @@ def round_row(report: "RoundReport") -> dict[str, Any]:
         "blockgen_elapsed": report.blockgen_elapsed,
         "blockgen_subblocks": report.blockgen_subblocks,
         "blockgen_width": report.blockgen_width,
+        # Continuous-timeline window + mempool queue health (round-overlap
+        # engine; timeline_end - timeline_start == sim_time at overlap=none).
+        "timeline_start": report.timeline_start,
+        "timeline_end": report.timeline_end,
+        "queue_depth": report.queue_depth,
+        "tx_evicted": report.tx_evicted,
+        "tx_age_mean": report.tx_age_mean,
+        "tx_age_max": report.tx_age_max,
     }
 
 
@@ -133,6 +142,12 @@ def collect_result(
     totals["rounds"] = len(rows)
     totals["blocks"] = sum(1 for row in rows if row["block"] is not None)
     totals["reliable_channels"] = rows[-1]["reliable_channels"] if rows else 0
+    # End-to-end latency on the overlap-scheduled continuous timeline: at
+    # overlap=none this equals the summed sim_time exactly; at
+    # overlap=semicommit it is strictly lower (the pipelining gain).
+    totals["e2e_sim_time"] = rows[-1]["timeline_end"] if rows else 0.0
+    totals["queue_depth_final"] = rows[-1]["queue_depth"] if rows else 0
+    totals["tx_age_max"] = max((row["tx_age_max"] for row in rows), default=0.0)
     cells = {
         f"{phase}/{role}": {
             "messages": cell.messages,
@@ -158,6 +173,10 @@ def collect_result(
         "length": len(ledger.chain),
         "valid": ledger.chain.verify(),
         "total_transactions": ledger.total_packed(),
+        # Head hash pins the whole chain content: two sweep arms with equal
+        # heads finished in byte-identical ledger states (the overlap-smoke
+        # CI gate compares this across overlap modes).
+        "head": ledger.chain.head.hash.hex() if len(ledger.chain) else None,
     }
     return SweepResult(
         point=dict(point_descriptor),
@@ -202,6 +221,10 @@ _CSV_TOTAL_COLUMNS = (
     "bytes",
     "dropped",
     "sim_time",
+    "e2e_sim_time",
+    "queue_depth_final",
+    "tx_evicted",
+    "tx_age_max",
     "blocks",
     "reliable_channels",
 )

@@ -128,12 +128,17 @@ def derive_point_seed(
     backend name is excluded for the same reason: all protocols at one
     point share a root seed (workload, adversary lottery and network
     jitter sub-streams line up), so a backend sweep compares protocols,
-    not seed noise.
+    not seed noise.  The ``overlap`` param is excluded too, even though it
+    travels inside ``params``: it only re-times the reported timeline and
+    never touches execution, so both arms of an overlap sweep must run the
+    identical protocol stream — that is what makes the sequential-vs-
+    pipelined latency comparison paired (and lets CI assert byte-identical
+    final ledger state across arms).
     """
     material = canonical_json(
         {
             "adversary": adversary,
-            "params": params,
+            "params": {k: v for k, v in params.items() if k != "overlap"},
             "rounds": rounds,
             "seed": seed,
         }
@@ -162,6 +167,15 @@ class ExperimentSpec:
     product axis of backend names for head-to-head protocol comparisons.
     Unknown names fail here, at spec-validation time — never inside a
     worker.
+
+    The round-overlap engine's knobs are ordinary ``ProtocolParams``
+    fields, so they sweep through ``base``/``grid`` like any other axis:
+    ``grid={"overlap": ("none", "semicommit")}`` is the paired
+    sequential-vs-pipelined latency comparison (both arms share seeds and
+    streams and finish in byte-identical ledger state — only the reported
+    timeline differs), and ``base={"arrival_process": "poisson",
+    "arrival_rate": 60.0}`` switches every point to the persistent
+    mempool's rate-process feed.
     """
 
     name: str

@@ -1,4 +1,4 @@
-"""Synthetic transaction workload generator.
+"""Synthetic transaction workload generator and the persistent mempool.
 
 The paper assumes "a large set of transactions are continuously sent to our
 network by external users" (§III-D).  This generator plays those users:
@@ -14,12 +14,20 @@ network by external users" (§III-D).  This generator plays those users:
 Every generated transaction is wrapped in :class:`TaggedTx`, carrying ground
 truth (home shard, output shards, intended validity and the injected defect)
 so tests and benchmarks can score committee decisions exactly.
+
+:class:`TxMempool` sits between the generator and the round loop.  In
+``legacy`` mode it reproduces the historical draw-a-batch-per-round model
+byte-exactly (same RNG consumption, unpacked transactions rolled back each
+round).  In ``poisson`` mode transactions arrive via a rate process on the
+continuous simulation clock, survive unpacked rounds in FIFO order, age
+while queued, and are evicted only by TTL or capacity backpressure — the
+sustained-load model the round-overlap engine measures latency against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -62,6 +70,14 @@ class WorkloadGenerator:
         self.fee = fee
         self.endowment = endowment
         self._nonce = 0
+        # Legacy batches flush created outputs into the spendable pool at
+        # batch end (every unpacked tx is rolled back the same round, so
+        # nothing off-chain ever gets re-spent).  The persistent mempool
+        # sets this True: created outputs are withheld until the creating
+        # transaction actually packs (forget_txids), so intended-valid
+        # draws never chain-spend an off-chain output and eviction can
+        # never double-count value.
+        self.defer_created = False
         # Bucket addresses by their hash-derived shard until each bucket is
         # full; the address space is dense enough that this terminates fast.
         # A single countdown of remaining open slots replaces the previous
@@ -97,8 +113,10 @@ class WorkloadGenerator:
         self._spent_this_batch: list[tuple[tuple[bytes, int], str, int]] = []
         self._pending: list[tuple[int, tuple[tuple[bytes, int], str, int]]] = []
         # txid -> (home, consumed entry, [(shard, created entry), ...]) for
-        # the most recent batch, so confirm_round can undo unpacked txs.
-        self._last_batch_effects: dict[
+        # every generated-but-unconfirmed transaction, so unpacked (or
+        # mempool-evicted) txs can be undone.  In the legacy per-round flow
+        # at most one batch is ever outstanding.
+        self._effects: dict[
             bytes,
             tuple[int, tuple, list[tuple[int, tuple]]],
         ] = {}
@@ -154,7 +172,7 @@ class WorkloadGenerator:
         out_shard = shard_of_address(payee, self.m)
         created.append((out_shard, ((tx.txid, 0), payee, spend)))
         self._pending.extend(created)
-        self._last_batch_effects[tx.txid] = (
+        self._effects[tx.txid] = (
             home,
             (outpoint, owner, amount),
             created,
@@ -234,7 +252,14 @@ class WorkloadGenerator:
         if not (0.0 <= invalid_ratio <= 1.0):
             raise ValueError("invalid_ratio must be in [0, 1]")
         batch: list[TaggedTx] = []
-        self._last_batch_effects = {}
+        if not self.defer_created:
+            # Legacy contract: confirm_round reconciles only the most
+            # recent batch, so a direct caller that skips confirm_round
+            # neither accumulates effects nor gets earlier batches
+            # retroactively rolled back.  Deferred (persistent-mempool)
+            # mode is exactly the opposite: effects live until the
+            # mempool packs or evicts the transaction.
+            self._effects = {}
         for _ in range(count):
             home = int(self.rng.integers(0, self.m))
             cross = bool(self.rng.random() < cross_shard_ratio)
@@ -246,38 +271,83 @@ class WorkloadGenerator:
             )
             if tagged is not None:
                 batch.append(tagged)
-        for shard, entry in self._pending:
-            self._spendable[shard].append(entry)
+        if not self.defer_created:
+            for shard, entry in self._pending:
+                self._spendable[shard].append(entry)
+            self._spent.extend(self._spent_this_batch)
+        # Deferred mode publishes created outputs AND spent records only at
+        # pack time (forget_txids): a double-spend injected against a
+        # merely-queued transaction's input would in truth be valid on
+        # chain, corrupting the defect ground truth in the other direction.
         self._pending.clear()
-        self._spent.extend(self._spent_this_batch)
         self._spent_this_batch.clear()
         return batch
 
-    def confirm_round(self, packed_txids: set[bytes]) -> int:
-        """Reconcile the generator's view with what the chain packed.
+    def _rollback_one(self, txid: bytes) -> bool:
+        """Undo one pending transaction's generator-side effects.
 
-        Intended-valid transactions from the last batch that did NOT make it
-        into the block (committee budget, leader failure, void round) never
-        happened on-chain: their created outputs are withdrawn from the
-        spendable pool and the consumed input is returned.  Returns the
-        number of transactions rolled back.
+        Its created outputs are withdrawn from the spendable pool and the
+        consumed input is returned; returns False if ``txid`` has no
+        pending effects (injected-invalid transactions never do).
         """
-        rolled_back = 0
-        for txid, (home, consumed, created) in self._last_batch_effects.items():
-            if txid in packed_txids:
-                continue
+        effects = self._effects.pop(txid, None)
+        if effects is None:
+            return False
+        home, consumed, created = effects
+        if not self.defer_created:
+            # Deferred mode never published these outputs, so there is
+            # nothing to withdraw (and no chained descendant can exist).
             for shard, entry in created:
                 try:
                     self._spendable[shard].remove(entry)
                 except ValueError:
                     pass  # already consumed — cannot happen before next batch
-            self._spendable[home].append(consumed)
-            try:
-                self._spent.remove(consumed)
-            except ValueError:
-                pass
-            rolled_back += 1
-        self._last_batch_effects = {}
+        self._spendable[home].append(consumed)
+        try:
+            self._spent.remove(consumed)
+        except ValueError:
+            pass
+        return True
+
+    def rollback_txids(self, txids: Iterable[bytes]) -> int:
+        """Undo the listed transactions (mempool eviction / TTL expiry);
+        returns how many actually had pending effects."""
+        return sum(1 for txid in txids if self._rollback_one(txid))
+
+    def forget_txids(self, txids: Iterable[bytes]) -> None:
+        """Drop pending effects without undoing them — the transactions
+        made it on-chain, so their spends and outputs are now real.
+
+        In deferred mode this is also the moment the packed transactions'
+        created outputs finally enter the spendable pool: outputs become
+        drawable only once they exist on-chain, which keeps every
+        intended-valid draw honest under sustained load.
+        """
+        for txid in txids:
+            effects = self._effects.pop(txid, None)
+            if effects is not None and self.defer_created:
+                for shard, entry in effects[2]:
+                    self._spendable[shard].append(entry)
+                # The input is now confirmed-spent: only from here may the
+                # double-spend injector reference it.
+                self._spent.append(effects[1])
+
+    def confirm_round(self, packed_txids: set[bytes]) -> int:
+        """Reconcile the generator's view with what the chain packed
+        (the legacy per-round settlement).
+
+        Intended-valid outstanding transactions that did NOT make it into
+        the block (committee budget, leader failure, void round) never
+        happened on-chain: every pending effect outside ``packed_txids``
+        is rolled back.  Returns the number of transactions rolled back.
+        """
+        rolled_back = 0
+        for txid in list(self._effects):
+            if txid in packed_txids:
+                continue
+            if self._rollback_one(txid):
+                rolled_back += 1
+        self._effects = {}
         return rolled_back
 
     def by_home_shard(self, batch: Sequence[TaggedTx]) -> list[list[TaggedTx]]:
@@ -286,3 +356,209 @@ class WorkloadGenerator:
         for tagged in batch:
             routed[tagged.home_shard].append(tagged)
         return routed
+
+
+# -- the persistent mempool ---------------------------------------------------
+#: Arrival-process names accepted by :class:`TxMempool` (and by
+#: ``ProtocolParams.arrival_process``).
+ARRIVAL_LEGACY = "legacy"
+ARRIVAL_POISSON = "poisson"
+ARRIVAL_PROCESSES = (ARRIVAL_LEGACY, ARRIVAL_POISSON)
+
+
+@dataclass
+class QueuedTx:
+    """One mempool entry: a generated transaction plus queue metadata."""
+
+    tagged: TaggedTx
+    arrived_at: float  # continuous sim time (Network.global_now)
+    arrived_round: int
+
+    def age(self, now: float) -> float:
+        """Sim-time this transaction has waited in the queue."""
+        return now - self.arrived_at
+
+    def age_rounds(self, round_number: int) -> int:
+        """Full rounds this transaction has waited without being packed."""
+        return round_number - self.arrived_round
+
+
+@dataclass(frozen=True)
+class MempoolStats:
+    """Queue health at one round's settlement (RoundReport material)."""
+
+    arrivals: int  # transactions admitted this round
+    evicted: int  # TTL/capacity evictions this round
+    depth: int  # transactions still queued after settlement
+    age_mean: float  # mean queue age of survivors, in sim time
+    age_max: float  # oldest survivor's queue age, in sim time
+
+
+class TxMempool:
+    """Persistent transaction queue between the generator and the rounds.
+
+    ``legacy`` process: every round admits one fixed-size batch (the
+    historical model, RNG-stream byte-exact — no extra draws) and settles
+    by rolling back everything the block did not pack; the queue is always
+    empty between rounds.
+
+    ``poisson`` process: each round admits ``Generator.poisson(rate)``
+    transactions stamped with their arrival time on the continuous clock.
+    Unpacked transactions survive in FIFO order and are offered again next
+    round; a transaction leaves the queue only by being packed, by
+    exceeding ``max_age_rounds``, or by capacity backpressure (the oldest
+    entries beyond ``capacity`` are evicted first — they have had the most
+    chances).  Evicted valid transactions are rolled back in the
+    generator, returning their inputs to the spendable pool.
+    """
+
+    def __init__(
+        self,
+        generator: WorkloadGenerator,
+        process: str = ARRIVAL_LEGACY,
+        rate: float = 0.0,
+        capacity: int = 0,
+        max_age_rounds: int = 0,
+    ) -> None:
+        if process not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"unknown arrival process {process!r} "
+                f"(known: {', '.join(ARRIVAL_PROCESSES)})"
+            )
+        if process == ARRIVAL_POISSON and rate <= 0.0:
+            raise ValueError("poisson arrivals need a positive rate")
+        if capacity < 0 or max_age_rounds < 0:
+            raise ValueError("capacity and max_age_rounds must be >= 0")
+        if process == ARRIVAL_LEGACY and (rate or capacity or max_age_rounds):
+            # Legacy settlement clears the queue every round, so these
+            # knobs would be silent no-ops (mirrors ProtocolParams).
+            raise ValueError(
+                "rate/capacity/max_age_rounds require the poisson arrival "
+                "process (legacy mode clears the queue every round)"
+            )
+        self.generator = generator
+        self.process = process
+        self.rate = rate
+        self.capacity = capacity
+        self.max_age_rounds = max_age_rounds
+        # Persistent queues defer created outputs until the creating tx
+        # packs (see WorkloadGenerator.defer_created): a queued-but-
+        # unconfirmed transaction's outputs must never seed later draws,
+        # or ground-truth tags would call off-chain chains "valid" and
+        # evictions would double-count value.
+        generator.defer_created = self.persistent
+        self.queue: list[QueuedTx] = []
+        self.total_admitted = 0
+        self.total_evicted = 0
+        self._last_arrivals = 0
+
+    @property
+    def depth(self) -> int:
+        """Transactions currently queued."""
+        return len(self.queue)
+
+    @property
+    def persistent(self) -> bool:
+        """Whether unpacked transactions survive between rounds."""
+        return self.process != ARRIVAL_LEGACY
+
+    # -- round interface ---------------------------------------------------
+    def admit(
+        self,
+        round_number: int,
+        now: float,
+        legacy_count: int,
+        cross_shard_ratio: float,
+        invalid_ratio: float,
+    ) -> int:
+        """Admit this round's arrivals; returns how many arrived.
+
+        ``legacy_count`` sizes the legacy per-round batch; the poisson
+        process draws its own count from the workload RNG stream instead.
+        """
+        if self.process == ARRIVAL_LEGACY:
+            count = legacy_count
+        else:
+            count = int(self.generator.rng.poisson(self.rate))
+        batch = self.generator.generate_batch(
+            count,
+            cross_shard_ratio=cross_shard_ratio,
+            invalid_ratio=invalid_ratio,
+        )
+        self.queue.extend(
+            QueuedTx(tagged=t, arrived_at=now, arrived_round=round_number)
+            for t in batch
+        )
+        self.total_admitted += len(batch)
+        self._last_arrivals = len(batch)
+        return len(batch)
+
+    def offered(self) -> list[list[TaggedTx]]:
+        """The round's per-shard mempools, oldest-arrival first.
+
+        FIFO order is the packing fairness rule: a leader's budget always
+        goes to the longest-waiting transactions of its shard.
+        """
+        routed: list[list[TaggedTx]] = [[] for _ in range(self.generator.m)]
+        for entry in self.queue:
+            routed[entry.tagged.home_shard].append(entry.tagged)
+        return routed
+
+    def settle(
+        self, packed_txids: set[bytes], round_number: int, now: float
+    ) -> MempoolStats:
+        """Reconcile the queue with what the round's block packed."""
+        if self.process == ARRIVAL_LEGACY:
+            self.generator.confirm_round(packed_txids)
+            self.queue.clear()
+            return MempoolStats(
+                arrivals=self._last_arrivals,
+                evicted=0,
+                depth=0,
+                age_mean=0.0,
+                age_max=0.0,
+            )
+        # Forget in queue (FIFO) order, never in set-iteration order: in
+        # deferred mode forgetting publishes created outputs into the
+        # spendable pool, and that order feeds later index draws — a
+        # hash-ordered set here would make blocks PYTHONHASHSEED-dependent.
+        self.generator.forget_txids(
+            e.tagged.tx.txid
+            for e in self.queue
+            if e.tagged.tx.txid in packed_txids
+        )
+        survivors = [
+            e for e in self.queue if e.tagged.tx.txid not in packed_txids
+        ]
+        evicted: list[QueuedTx] = []
+        if self.max_age_rounds > 0:
+            expired = [
+                e
+                for e in survivors
+                if e.age_rounds(round_number) >= self.max_age_rounds
+            ]
+            if expired:
+                evicted.extend(expired)
+                survivors = [
+                    e
+                    for e in survivors
+                    if e.age_rounds(round_number) < self.max_age_rounds
+                ]
+        if self.capacity > 0 and len(survivors) > self.capacity:
+            overflow = len(survivors) - self.capacity
+            evicted.extend(survivors[:overflow])
+            survivors = survivors[overflow:]
+        if evicted:
+            self.generator.rollback_txids(
+                e.tagged.tx.txid for e in evicted
+            )
+            self.total_evicted += len(evicted)
+        self.queue = survivors
+        ages = [e.age(now) for e in survivors]
+        return MempoolStats(
+            arrivals=self._last_arrivals,
+            evicted=len(evicted),
+            depth=len(survivors),
+            age_mean=sum(ages) / len(ages) if ages else 0.0,
+            age_max=max(ages, default=0.0),
+        )

@@ -58,6 +58,13 @@ class Network:
         self.strict_channels = strict_channels
         self.nodes: dict[int, "ProtocolNode"] = {}
         self.now: float = 0.0
+        # Sim-time consumed by completed rounds: :meth:`reset` folds the
+        # outgoing round's ``now`` into this accumulator, so
+        # :attr:`global_now` is a monotonic clock that never rewinds even
+        # though per-round event math runs on the (byte-exact) round-local
+        # ``now``.  The round-overlap engine composes its end-to-end
+        # timeline on this clock.
+        self.epoch: float = 0.0
         self._queue: list[tuple[float, int, Message | None, Callable | None]] = []
         self._seq = itertools.count()
         # Jitter draws are served from a pre-drawn block: one vectorized
@@ -108,11 +115,18 @@ class Network:
         The CycLedger orchestrator runs many rounds against one long-lived
         network; rebuilding the simulator (and re-attaching every node) per
         round dominated the small-scale hot path.  ``reset`` drops all
-        pending events, rewinds the clock, and swaps in a fresh metrics
-        sink while keeping the node registry and RNG stream intact.
+        pending events, rewinds the round-local clock, and swaps in a fresh
+        metrics sink while keeping the node registry and RNG stream intact.
+
+        The outgoing round's elapsed time is folded into :attr:`epoch`
+        first, so the cross-round :attr:`global_now` clock stays monotonic:
+        per-round phase timings compose into one continuous end-to-end
+        timeline while every in-round delivery time remains byte-identical
+        to the historical fresh-clock behaviour.
         """
         if metrics is not None:
             self.metrics = metrics
+        self.epoch += self.now
         self.now = 0.0
         self._queue.clear()
         self._seq = itertools.count()
@@ -350,3 +364,15 @@ class Network:
     @property
     def pending(self) -> int:
         return len(self._queue)
+
+    @property
+    def global_now(self) -> float:
+        """The continuous cross-round simulation clock.
+
+        Monotonic over the whole run: :meth:`reset` accumulates each
+        finished round's span into :attr:`epoch` instead of discarding it,
+        so this clock never rewinds between rounds.  Mempool arrival
+        stamps, transaction-age metrics and the sequential end-to-end
+        timeline all read this clock.
+        """
+        return self.epoch + self.now

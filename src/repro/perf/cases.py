@@ -388,3 +388,47 @@ def _register_round_cases() -> None:
 
 
 _register_round_cases()
+
+
+# -- round: continuous-time overlap engine ------------------------------------
+def _overlap_setup(settings: PerfSettings) -> Any:
+    """CycLedger on the round-overlap engine: semicommit-pipelined
+    timeline plus a persistent poisson mempool, so the case times the
+    continuous-clock machinery (queue settlement, overlap scheduling) on
+    top of the plain round."""
+    from repro.backends import create_backend
+    from repro.core.config import ProtocolParams
+
+    params = ProtocolParams(
+        n=settings.n,
+        m=settings.m,
+        lam=settings.lam,
+        referee_size=settings.referee_size,
+        seed=settings.seed,
+        users_per_shard=settings.users_per_shard,
+        tx_per_committee=settings.tx_per_committee,
+        cross_shard_ratio=settings.cross_shard_ratio,
+        invalid_ratio=settings.invalid_ratio,
+        overlap="semicommit",
+        arrival_process="poisson",
+        arrival_rate=float(2 * settings.m * settings.tx_per_committee),
+        mempool_max_age=4,
+    )
+    return create_backend("cycledger", params)
+
+
+register_perf_case(
+    PerfCase(
+        name="round:cycledger_overlap",
+        description=(
+            "one CycLedger round on the continuous-time overlap engine: "
+            "poisson mempool feed, FIFO settlement, semicommit-pipelined "
+            "timeline scheduling"
+        ),
+        category="round",
+        setup=_overlap_setup,
+        run=_round_run,
+        ops=lambda s: 2 * s.m * s.tx_per_committee,
+        backend="cycledger",
+    )
+)

@@ -87,7 +87,17 @@ class ScenarioDriver:
         self.rng = rng
         self._crashed_until: dict[int, int] = {}  # node id -> last crash round
         #: Human-readable record of every applied action (for CLI/tests).
+        #: Each line is stamped with the continuous cross-round sim clock
+        #: (``Network.global_now``), so fault timelines read as one run,
+        #: not as per-round fragments that all start at t=0.
         self.log: list[str] = []
+        self._net = None  # bound at install time, for log timestamps
+
+    def _stamp(self, line: str) -> str:
+        """Prefix a log line with the continuous sim-clock timestamp."""
+        if self._net is None:
+            return line
+        return f"t={self._net.global_now:.1f} {line}"
 
     # -- wiring ------------------------------------------------------------
     def install(self, ledger: "CycLedger") -> None:
@@ -103,6 +113,7 @@ class ScenarioDriver:
                 "each scenario-bearing ledger its own pipeline"
             )
         self._validate_targets(ledger.params.m, ledger.params.n)
+        self._net = ledger.net
         pipeline.scenario_driver = self
         first_phase = pipeline.names[0]
         pipeline.add_round_hook(PRE, self._on_round_start)
@@ -149,13 +160,15 @@ class ScenarioDriver:
             if isinstance(event, AdversaryRamp) and event.active(round_number):
                 fraction = event.fraction_at(round_number)
                 ledger.adversary.retarget_fraction(fraction)
-                self.log.append(
+                self.log.append(self._stamp(
                     f"r{round_number}: adversary fraction -> {fraction:.3f}"
-                )
+                ))
         offline = self._offline_this_round(ledger, round_number)
         ledger.adversary.force_offline(offline)
         if offline:
-            self.log.append(f"r{round_number}: forced offline {sorted(offline)}")
+            self.log.append(
+                self._stamp(f"r{round_number}: forced offline {sorted(offline)}")
+            )
 
     def _offline_this_round(
         self, ledger: "CycLedger", round_number: int
@@ -169,10 +182,10 @@ class ScenarioDriver:
                     self._crashed_until[node_id] = (
                         round_number + event.duration - 1
                     )
-                    self.log.append(
+                    self.log.append(self._stamp(
                         f"r{round_number}: crash leader-elect {node_id} "
                         f"of committee {committee_index}"
-                    )
+                    ))
             elif isinstance(event, Churn) and event.active(round_number):
                 count = int(event.offline_fraction * len(ledger.nodes))
                 if count:
@@ -194,18 +207,18 @@ class ScenarioDriver:
             if isinstance(event, Partition) and event.active(round_number):
                 groups = self._resolve_partition(event, ctx)
                 ctx.net.set_partitions(groups)
-                self.log.append(
+                self.log.append(self._stamp(
                     f"r{round_number}: partition "
                     f"{[sorted(g) for g in groups]}"
-                )
+                ))
             elif isinstance(event, LatencySpike) and event.active(round_number):
                 ctx.net.add_link_degradation(
                     event.factor, channels=event.channels
                 )
-                self.log.append(
+                self.log.append(self._stamp(
                     f"r{round_number}: latency x{event.factor:g} "
                     f"on {list(event.channels) if event.channels else 'all'}"
-                )
+                ))
 
     def _resolve_partition(
         self, event: Partition, ctx: "RoundContext"

@@ -1,0 +1,95 @@
+"""tools/bench_diff.py: per-case median deltas and the --fail-over gate."""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tools"))
+
+import bench_diff  # noqa: E402
+
+
+def _artifact(medians: dict[str, float], hash_ops: float = 1e6) -> dict:
+    return {
+        "schema": "repro-bench/1",
+        "version": "1.5.0",
+        "host": {},
+        "settings": {},
+        "calibration": {
+            "hash_1kib_ops_per_sec": hash_ops,
+            "pyloop_ops_per_sec": 1e7,
+        },
+        "cases": [
+            {
+                "name": name,
+                "n": 48,
+                "category": "round" if name.startswith("round:") else "micro",
+                "wall": {"median_s": median},
+            }
+            for name, median in medians.items()
+        ],
+    }
+
+
+@pytest.fixture
+def artifacts(tmp_path):
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    old.write_text(json.dumps(_artifact(
+        {"round:cycledger": 0.100, "micro:mac_sign": 0.010,
+         "round:gone": 0.5},
+    )))
+    new.write_text(json.dumps(_artifact(
+        {"round:cycledger": 0.150, "micro:mac_sign": 0.008,
+         "round:cycledger_overlap": 0.2},
+        hash_ops=2e6,
+    )))
+    return str(old), str(new)
+
+
+def test_diff_prints_deltas_and_passes_without_threshold(artifacts, capsys):
+    old, new = artifacts
+    assert bench_diff.main([old, new]) == 0
+    out = capsys.readouterr().out
+    assert "round:cycledger" in out and "+50.0%" in out
+    assert "micro:mac_sign" in out and "-20.0%" in out
+    assert "round:gone" in out  # reported as present on one side only
+    assert "round:cycledger_overlap" in out
+
+
+def test_fail_over_gate_trips_on_regression(artifacts, capsys):
+    old, new = artifacts
+    assert bench_diff.main([old, new, "--fail-over", "20"]) == 1
+    err = capsys.readouterr().err
+    assert "round:cycledger" in err and "REGRESSED" not in err
+    assert bench_diff.main([old, new, "--fail-over", "60"]) == 0
+
+
+def test_normalize_rescales_by_calibration(artifacts, capsys):
+    old, new = artifacts
+    # New host hashes 2x faster; old medians halve, so the 0.100 -> 0.150
+    # "regression" becomes 0.050 -> 0.150 (+200%) — normalization is about
+    # honesty, not leniency, and the case filter narrows the join.
+    assert bench_diff.main(
+        [old, new, "--normalize", "--cases", "round:cycledger"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "+200.0%" in out
+    assert "micro:mac_sign" not in out
+
+
+def test_unknown_case_filter_fails(artifacts):
+    old, new = artifacts
+    with pytest.raises(SystemExit):
+        bench_diff.main([old, new, "--cases", "round:nope"])
+
+
+def test_bad_schema_rejected(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "other/9", "cases": []}))
+    with pytest.raises(SystemExit, match="schema"):
+        bench_diff.load_cases(str(bad))

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_perf.json artifacts case by case.
+
+PR-over-PR perf trajectories need a reviewable diff, not two opaque JSON
+blobs: this tool joins the cases of an *old* and a *new* artifact on
+``(name, n)``, prints the per-case median wall-time delta (negative =
+faster), and with ``--fail-over PCT`` exits non-zero when any case
+regressed by more than the threshold — the building block for a local
+perf gate.  Zero dependencies beyond the standard library, mirroring
+``tools/check_links.py``.
+
+Shared runners are noisy and hosts differ between PRs, so ``--normalize``
+rescales the old medians by the two artifacts' sha256 calibration ratio
+(see docs/perf.md) before comparing: a machine that is 2x slower overall
+then no longer reads as a 2x regression.
+
+Usage:
+    python tools/bench_diff.py OLD.json NEW.json [--fail-over 20]
+        [--normalize] [--cases round:cycledger,micro:mac_sign]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_cases(path: str) -> dict[tuple[str, int], dict]:
+    """Index one artifact's cases by ``(name, n)`` (scales repeat names)."""
+    with open(path) as fh:
+        bench = json.load(fh)
+    if bench.get("schema") != "repro-bench/1":
+        raise SystemExit(
+            f"{path}: unknown schema {bench.get('schema')!r} "
+            "(expected repro-bench/1)"
+        )
+    indexed: dict[tuple[str, int], dict] = {}
+    for case in bench["cases"]:
+        indexed[(case["name"], case["n"])] = case
+    return indexed
+
+
+def calibration_ratio(old_path: str, new_path: str) -> float:
+    """new/old sha256 throughput: how much faster the new host is."""
+    ratios = []
+    for path in (old_path, new_path):
+        with open(path) as fh:
+            ratios.append(
+                json.load(fh)["calibration"]["hash_1kib_ops_per_sec"]
+            )
+    old_hash, new_hash = ratios
+    if old_hash <= 0 or new_hash <= 0:
+        raise SystemExit("calibration ops/sec must be positive to normalize")
+    return new_hash / old_hash
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_perf.json artifacts (median wall time)"
+    )
+    parser.add_argument("old", help="baseline BENCH_perf.json")
+    parser.add_argument("new", help="candidate BENCH_perf.json")
+    parser.add_argument(
+        "--fail-over",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 if any case's median regressed by more than PCT%%",
+    )
+    parser.add_argument(
+        "--normalize",
+        action="store_true",
+        help="rescale old medians by the sha256 calibration ratio "
+        "(cross-machine comparisons)",
+    )
+    parser.add_argument(
+        "--cases",
+        default=None,
+        help="comma-separated case-name filter (default: all shared cases)",
+    )
+    args = parser.parse_args(argv)
+
+    old_cases = load_cases(args.old)
+    new_cases = load_cases(args.new)
+    wanted = set(args.cases.split(",")) if args.cases else None
+    scale = calibration_ratio(args.old, args.new) if args.normalize else 1.0
+
+    shared = sorted(set(old_cases) & set(new_cases))
+    if wanted is not None:
+        shared = [key for key in shared if key[0] in wanted]
+        missing = wanted - {name for name, _ in shared}
+        if missing:
+            raise SystemExit(
+                f"case(s) {sorted(missing)} absent from one artifact"
+            )
+    if not shared:
+        raise SystemExit("no cases in common between the two artifacts")
+
+    header = f"{'case':<26} {'n':>5} {'old ms':>10} {'new ms':>10} {'delta':>8}"
+    print(header)
+    print("-" * len(header))
+    regressions: list[tuple[str, int, float]] = []
+    for name, n in shared:
+        old_ms = old_cases[(name, n)]["wall"]["median_s"] * 1e3 / scale
+        new_ms = new_cases[(name, n)]["wall"]["median_s"] * 1e3
+        delta = (new_ms - old_ms) / old_ms * 100.0 if old_ms > 0 else 0.0
+        flag = ""
+        if args.fail_over is not None and delta > args.fail_over:
+            regressions.append((name, n, delta))
+            flag = "  REGRESSED"
+        print(f"{name:<26} {n:>5} {old_ms:>10.3f} {new_ms:>10.3f} "
+              f"{delta:>+7.1f}%{flag}")
+    only_old = sorted(set(old_cases) - set(new_cases))
+    only_new = sorted(set(new_cases) - set(old_cases))
+    if only_old:
+        print(f"only in {args.old}: {[f'{n}@{s}' for n, s in only_old]}")
+    if only_new:
+        print(f"only in {args.new}: {[f'{n}@{s}' for n, s in only_new]}")
+    if args.normalize:
+        print(f"(old medians rescaled by calibration ratio {scale:.3f})")
+
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} case(s) regressed beyond "
+            f"{args.fail_over:.1f}%:",
+            file=sys.stderr,
+        )
+        for name, n, delta in regressions:
+            print(f"  {name} (n={n}): {delta:+.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
