@@ -60,6 +60,13 @@ class ProtocolParams:
     mempool_capacity: int = 0  # max queued txs, 0 = unbounded
     mempool_max_age: int = 0  # rounds a tx may wait, 0 = never expire
 
+    # Shard-parallel execution of the per-committee phase work
+    # (repro.core.shards): 0 = historical interleaved path (byte-frozen),
+    # 1 = sharded-serial reference semantics, >= 2 = process pool.  Paths
+    # 1 and >= 2 are byte-identical by construction; 0 consumes the shared
+    # RNG streams differently and stays the default.
+    shard_workers: int = 0
+
     net: NetworkParams = field(default_factory=NetworkParams)
 
     def __post_init__(self) -> None:
@@ -98,6 +105,8 @@ class ProtocolParams:
                 "n - referee_size must be divisible by m so committees have "
                 "a well-defined exact size"
             )
+        if self.shard_workers < 0:
+            raise ValueError("shard_workers must be >= 0")
         if self.committee_size < self.lam + 2:
             raise ValueError(
                 f"committee size {self.committee_size} cannot host a leader, "

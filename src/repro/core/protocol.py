@@ -205,8 +205,20 @@ class CycLedger:
         # Local import: repro.backends.base builds on core modules and must
         # stay importable before this one finishes loading.
         from repro.backends.base import attach_pipeline, init_shared_state
+        from repro.core.shards import make_shard_executor
 
         self.params = params
+        if params.shard_workers > 0 and scenario is not None:
+            # Scenario fault injection (partitions, link degradations)
+            # acts on the main network fabric; committee mini-networks
+            # would silently bypass it.  Reject rather than mislead.
+            raise ValueError(
+                "shard_workers is incompatible with fault-injection "
+                "scenarios (faults act on the shared network fabric)"
+            )
+        self._shard_executor = make_shard_executor(
+            params.shard_workers, self.backend_name
+        )
         # All common state — node population, RNG sub-stream fan-out
         # (protocol / workload / adversary / jitter / scenario), network,
         # genesis staging — comes from the one shared constructor every
@@ -338,6 +350,7 @@ class CycLedger:
             chain=self.chain,
             global_utxos=self.global_utxos,
             rewards=self.rewards,
+            shard_executor=self._shard_executor,
         )
 
         phase_reports = self.pipeline.execute(ctx)

@@ -1,0 +1,539 @@
+"""Shard-parallel execution of per-committee phase work.
+
+The paper's central structural claim is that committees operate
+independently *within* a round: semi-commitment claim preparation and the
+vote rounds of the intra/inter phases touch only one committee's members
+and shard state, and synchronize with the rest of the protocol solely at
+the cross-shard barrier in :meth:`repro.core.protocol.CycLedger.run_round`.
+This module exploits that independence: a :class:`ShardExecutor` fans the
+per-committee work out (in-process, or across a process pool) and merges
+the results back at the barrier.
+
+Three execution paths, selected by ``ProtocolParams.shard_workers``:
+
+* ``0`` (default) — the historical interleaved path: every committee's
+  sessions share one network/RNG and their events interleave.  Byte-frozen
+  (pinned by the pre-overlap fixtures); this module is never imported.
+* ``1`` — :class:`SerialShardExecutor`: committee tasks run one after
+  another in-process, each on its own mini-network with pre-split RNG
+  sub-streams.  This is the *sharded-serial* reference semantics.
+* ``>= 2`` — :class:`ProcessShardExecutor`: the same tasks on a process
+  pool.  Workers execute literally the same task function on pickled
+  copies of the same task objects, so the pool path is byte-identical to
+  the sharded-serial path by construction — the property the shard-smoke
+  CI job ``cmp``-checks on sweep artifacts.
+
+Determinism discipline (mirrors the jitter-block and batching notes in
+docs/perf.md): every task's RNG streams are derived *at fan-out* from the
+protocol seed, the round number, the committee index and the session names
+— never from the shared per-round generators — so neither worker count nor
+scheduling order can perturb a single draw.
+
+What is shipped to a worker and what comes back:
+
+* out: frozen per-node snapshots (capacity, behavior, online flag,
+  remaining validation budget, role flags), the committee spec fields, the
+  committee's (read-only) shard state, and the session list.  Capacity is
+  snapshotted, never re-derived: ``init_shared_state`` draws it from the
+  ledger RNG, which workers do not hold.
+* back: the :class:`~repro.core.voting.VoteRound` results in submission
+  order, the mini-net's elapsed sim-time, a metrics collector to fold into
+  the round's, per-node budget remainders, and delivery counters.
+
+Workers rebuild nodes from scratch against a fresh :class:`PKI`; key
+derivation is deterministic in ``(backend, seed, node_id)``, so worker-made
+signatures and certificates verify against the main registry when the
+referee audits them later in the round.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.core.node import CycNode
+from repro.core.structures import CommitteeSpec, RoundContext
+from repro.core.voting import (
+    VoteRound,
+    VoteRoundSession,
+    input_side_votes,
+    output_side_votes,
+)
+from repro.crypto.hashing import H
+from repro.crypto.pki import PKI
+from repro.crypto.signatures import sign
+from repro.ledger.chain import Chain
+from repro.metrics.counters import MetricsCollector
+from repro.net.params import ChannelClass
+from repro.net.simulator import Network
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import ProtocolParams
+    from repro.crypto.pki import KeyPair
+    from repro.ledger.state import ShardState
+    from repro.nodes.behaviors import Behavior
+
+#: Vote functions a task may name.  Work items carry the function object;
+#: tasks ship a marker so the pool never pickles callables.  Anything not
+#: in this table (there is nothing else today) falls back to the
+#: interleaved path.
+_VOTE_FNS = {
+    "input": input_side_votes,
+    "output": output_side_votes,
+}
+_VOTE_FN_NAMES = {fn: name for name, fn in _VOTE_FNS.items()}
+
+
+def shardable(work: Sequence[tuple]) -> bool:
+    """Whether every work item's vote function has a shard marker."""
+    return all(item[3] in _VOTE_FN_NAMES for item in work)
+
+
+def _committee_channel(src: int, dst: int) -> str:
+    """Inside one committee every pair is an INTRA channel (topology.py
+    classifies same-committee pairs before any key-member special case)."""
+    return ChannelClass.LOCAL if src == dst else ChannelClass.INTRA
+
+
+def _noop() -> None:
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Task / outcome payloads (everything here must pickle cleanly)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NodeSnapshot:
+    """One committee member, as a worker needs to rebuild it."""
+
+    node_id: int
+    capacity: int
+    behavior: "Behavior"
+    online: bool
+    budget_left: int | None
+    is_leader: bool
+    is_partial: bool
+
+
+@dataclass(frozen=True)
+class ShardVoteTask:
+    """All of one committee's vote-round sessions for one dispatch."""
+
+    backend_name: str
+    params: "ProtocolParams"
+    round_number: int
+    committee_index: int
+    leader: int
+    partial: tuple[int, ...]
+    members: tuple[int, ...]
+    #: ``(txs, session_name, vote_fn_marker, phase_name)`` per session, in
+    #: the caller's submission order for this committee.
+    sessions: tuple[tuple[tuple, str, str, str], ...]
+    snapshots: tuple[NodeSnapshot, ...]
+    shard_state: "ShardState | None"
+    metrics_phase: str
+    vote_seed: int
+    jitter_seed: int
+
+
+@dataclass
+class ShardVoteOutcome:
+    """What one committee task sends back across the barrier."""
+
+    committee_index: int
+    rounds: list[VoteRound]
+    elapsed: float
+    metrics: MetricsCollector
+    budgets: dict[int, int | None]
+    delivered: int
+    dropped: int
+
+
+@dataclass(frozen=True)
+class SemiCommitTask:
+    """One leader's semi-commitment claim preparation (pure compute)."""
+
+    committee_index: int
+    round_number: int
+    keypair: "KeyPair"
+    behavior: "Behavior"
+    member_list: tuple
+
+
+# ---------------------------------------------------------------------------
+# Worker functions
+# ---------------------------------------------------------------------------
+
+
+def execute_vote_task(task: ShardVoteTask) -> ShardVoteOutcome:
+    """Run one committee's sessions on a private mini-network.
+
+    Identical code runs under both executors; the pool merely moves this
+    call to another process, which is why worker count cannot change a
+    byte of output.
+    """
+    pki = PKI()
+    nodes: dict[int, CycNode] = {}
+    for snap in task.snapshots:
+        keypair = pki.generate(
+            (task.backend_name, task.params.seed, snap.node_id)
+        )
+        node = CycNode(
+            snap.node_id,
+            keypair,
+            capacity=snap.capacity,
+            behavior=snap.behavior,
+        )
+        node.online = snap.online
+        node.budget_left = snap.budget_left
+        node.committee_id = task.committee_index
+        node.is_leader = snap.is_leader
+        node.is_partial = snap.is_partial
+        node.shard_state = task.shard_state
+        nodes[snap.node_id] = node
+    metrics = MetricsCollector()
+    metrics.set_phase(task.metrics_phase)
+    for node in nodes.values():
+        metrics.set_role(node.node_id, node.role)
+    net = Network(
+        task.params.net,
+        np.random.default_rng(task.jitter_seed),
+        metrics=metrics,
+    )
+    for node in nodes.values():
+        net.add_node(node)
+    net.set_channel_classifier(_committee_channel)
+    spec = CommitteeSpec(
+        index=task.committee_index,
+        leader=task.leader,
+        partial=task.partial,
+        members=list(task.members),
+    )
+    ctx = RoundContext(
+        params=task.params,
+        pki=pki,
+        net=net,
+        metrics=metrics,
+        rng=np.random.default_rng(task.vote_seed),
+        round_number=task.round_number,
+        randomness=b"",
+        nodes=nodes,
+        committees=[spec],
+        referee=[],
+        reputation={},
+        mempools=[],
+        shard_states=[],
+        chain=Chain(),
+    )
+    sessions = [
+        VoteRoundSession(
+            ctx, spec, list(txs), name, _VOTE_FNS[marker], phase
+        )
+        for txs, name, marker, phase in task.sessions
+    ]
+    for session in sessions:
+        session.start()
+    net.run()
+    return ShardVoteOutcome(
+        committee_index=task.committee_index,
+        rounds=[session.finish() for session in sessions],
+        elapsed=net.now,
+        metrics=metrics,
+        budgets={nid: node.budget_left for nid, node in nodes.items()},
+        delivered=net.delivered_messages,
+        dropped=net.dropped_messages,
+    )
+
+
+def execute_semicommit_task(task: SemiCommitTask) -> tuple[int, tuple]:
+    """Prepare one leader's signed semi-commitment claim.
+
+    No RNG is involved, so the result is value-identical to the inline
+    computation in ``_SemiCommitSession._leader_send``.
+    """
+    from repro.crypto.commitment import canonical_member_list, semi_commitment
+
+    true_list = canonical_member_list(task.member_list)
+    true_commitment = semi_commitment(true_list)
+    commitment, claimed_list = task.behavior.semi_commitment_claim(
+        None, true_commitment, true_list
+    )
+    statement = ("SEMI_COM", task.round_number, commitment, claimed_list)
+    sig = sign(task.keypair, statement)
+    return task.committee_index, (commitment, claimed_list, sig)
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+
+class SerialShardExecutor:
+    """Sharded execution, one committee task at a time, in-process.
+
+    The reference semantics of the sharded path: the pool executor runs the
+    exact same tasks through the exact same worker functions.
+    """
+
+    workers = 1
+
+    def __init__(self, backend_name: str) -> None:
+        self.backend_name = backend_name
+
+    def run_vote_tasks(
+        self, tasks: Sequence[ShardVoteTask]
+    ) -> list[ShardVoteOutcome]:
+        return [execute_vote_task(task) for task in tasks]
+
+    def run_semicommit_tasks(
+        self, tasks: Sequence[SemiCommitTask]
+    ) -> list[tuple[int, tuple]]:
+        return [execute_semicommit_task(task) for task in tasks]
+
+
+#: Module-level pool singleton: fork start-up is the dominant fixed cost,
+#: so one pool is reused across rounds, runs, and perf repeats.  Rebuilt
+#: only when the requested worker count changes.
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS: int | None = None
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_WORKERS
+    if _POOL is None or _POOL_WORKERS != workers:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def _shutdown_pool() -> None:
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=False)
+        _POOL = None
+        _POOL_WORKERS = None
+
+
+atexit.register(_shutdown_pool)
+
+
+def _effective_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+class ProcessShardExecutor(SerialShardExecutor):
+    """Sharded execution across a process pool, with the dispatching
+    process participating as a worker.
+
+    Instead of blocking in ``map()`` while every result crosses IPC, the
+    parent offloads only the share the workers can genuinely overlap and
+    executes the remainder in-process.  The split adapts to the host: on
+    a single-CPU machine extra processes cannot overlap at all, so the
+    parent keeps every task (the pool degenerates to the serial path —
+    results are identical either way, this is purely a scheduling
+    choice); with ``k`` usable CPUs the parent keeps ``ceil(T /
+    (lanes + 1))`` of ``T`` tasks, where ``lanes = min(workers, k - 1)``.
+
+    ``concurrent.futures`` workers are non-daemonic, so a shard pool can
+    legally live *inside* a sweep-runner pool worker — though in practice
+    the sweep layer clamps nested shard workers to the serial executor
+    (see ``SweepPoint.descriptor``), precisely because the artifacts are
+    identical either way.
+    """
+
+    def __init__(self, workers: int, backend_name: str) -> None:
+        super().__init__(backend_name)
+        self.workers = workers
+
+    def _parent_share(self, count: int) -> int:
+        """How many of ``count`` tasks the dispatching process runs."""
+        lanes = min(self.workers, _effective_cpus() - 1)
+        if lanes <= 0:
+            return count
+        return -(-count // (lanes + 1))  # ceil division
+
+    def run_vote_tasks(
+        self, tasks: Sequence[ShardVoteTask]
+    ) -> list[ShardVoteOutcome]:
+        keep = self._parent_share(len(tasks))
+        if keep >= len(tasks):
+            return super().run_vote_tasks(tasks)
+        pool = _get_pool(self.workers)
+        split = len(tasks) - keep
+        # Submit the offloaded share first so workers start while the
+        # parent computes its own; task order is preserved positionally.
+        futures = [pool.submit(execute_vote_task, t) for t in tasks[:split]]
+        local = [execute_vote_task(t) for t in tasks[split:]]
+        return [future.result() for future in futures] + local
+
+    # Semi-commitment claims are two hashes and one MAC per committee —
+    # far below the grain size where pool dispatch pays for itself, so the
+    # pool executor keeps them in-process (the inherited serial path).
+    # execute_semicommit_task is a pure function of its task, so the result
+    # is identical either way.
+
+
+def make_shard_executor(
+    workers: int, backend_name: str
+) -> SerialShardExecutor | None:
+    """``0`` -> legacy interleaved path, ``1`` -> serial, ``>=2`` -> pool."""
+    if workers <= 0:
+        return None
+    if workers == 1:
+        return SerialShardExecutor(backend_name)
+    return ProcessShardExecutor(workers, backend_name)
+
+
+# ---------------------------------------------------------------------------
+# Fan-out / merge
+# ---------------------------------------------------------------------------
+
+
+def _task_seeds(
+    executor: SerialShardExecutor,
+    params: "ProtocolParams",
+    round_number: int,
+    committee_index: int,
+    session_names: tuple[str, ...],
+) -> tuple[int, int]:
+    """Pre-split RNG sub-streams for one committee task.
+
+    Derived from protocol identity only — seed, round, committee, session
+    names — so retries (distinct session names) get fresh streams and the
+    worker count can never influence a draw.
+    """
+    vote = int.from_bytes(
+        H(
+            "SHARD_VOTE",
+            executor.backend_name,
+            params.seed,
+            round_number,
+            committee_index,
+            session_names,
+        ),
+        "big",
+    )
+    jitter = int.from_bytes(
+        H(
+            "SHARD_JITTER",
+            executor.backend_name,
+            params.seed,
+            round_number,
+            committee_index,
+            session_names,
+        ),
+        "big",
+    )
+    return vote, jitter
+
+
+def _snapshot(ctx: RoundContext, committee: CommitteeSpec) -> tuple:
+    partial = set(committee.partial)
+    return tuple(
+        NodeSnapshot(
+            node_id=mid,
+            capacity=ctx.node(mid).capacity,
+            behavior=ctx.node(mid).behavior,
+            online=ctx.node(mid).online,
+            budget_left=ctx.node(mid).budget_left,
+            is_leader=mid == committee.leader,
+            is_partial=mid in partial,
+        )
+        for mid in committee.members
+    )
+
+
+def run_vote_rounds_sharded(
+    ctx: RoundContext, work: Sequence[tuple]
+) -> list[VoteRound]:
+    """Fan per-committee vote rounds out through ``ctx.shard_executor``.
+
+    Work items are grouped by committee — one task runs *all* of a
+    committee's sessions sequentially against one snapshot, because
+    sessions of the same committee share the per-round validation budget
+    and (on the inter send side) arrive as several lists for one leader.
+    Committees' node sets are disjoint, so budget write-back and metrics
+    merge at the barrier are conflict-free.
+    """
+    executor = ctx.shard_executor
+    groups: dict[int, list[tuple[int, tuple]]] = {}
+    for position, item in enumerate(work):
+        groups.setdefault(item[0].index, []).append((position, item))
+    tasks: list[ShardVoteTask] = []
+    for k in sorted(groups):
+        entries = groups[k]
+        committee: CommitteeSpec = entries[0][1][0]
+        session_names = tuple(item[2] for _, item in entries)
+        vote_seed, jitter_seed = _task_seeds(
+            executor, ctx.params, ctx.round_number, k, session_names
+        )
+        tasks.append(
+            ShardVoteTask(
+                backend_name=executor.backend_name,
+                params=ctx.params,
+                round_number=ctx.round_number,
+                committee_index=k,
+                leader=committee.leader,
+                partial=tuple(committee.partial),
+                members=tuple(committee.members),
+                sessions=tuple(
+                    (tuple(item[1]), item[2], _VOTE_FN_NAMES[item[3]], item[4])
+                    for _, item in entries
+                ),
+                snapshots=_snapshot(ctx, committee),
+                shard_state=ctx.node(committee.leader).shard_state,
+                metrics_phase=ctx.metrics.phase,
+                vote_seed=vote_seed,
+                jitter_seed=jitter_seed,
+            )
+        )
+    results: list[VoteRound | None] = [None] * len(work)
+    max_elapsed = 0.0
+    for outcome in executor.run_vote_tasks(tasks):
+        entries = groups[outcome.committee_index]
+        for (position, _), vote_round in zip(entries, outcome.rounds):
+            results[position] = vote_round
+        ctx.metrics.merge(outcome.metrics)
+        for nid, budget in outcome.budgets.items():
+            ctx.nodes[nid].budget_left = budget
+        ctx.net.delivered_messages += outcome.delivered
+        ctx.net.dropped_messages += outcome.dropped
+        max_elapsed = max(max_elapsed, outcome.elapsed)
+    # Committees ran in parallel sim-time: the barrier costs the slowest
+    # committee's span on the shared clock, same as the interleaved model.
+    if max_elapsed > 0.0:
+        ctx.net.call_after(max_elapsed, _noop)
+        ctx.net.run()
+    return results  # fully populated: every position got exactly one round
+
+
+def prepare_semicommit_claims(ctx: RoundContext) -> dict[int, tuple]:
+    """Fan the leaders' claim preparation out; keyed by committee index.
+
+    Claim preparation — canonicalize the member list, hash it, sign the
+    claim — is the per-committee compute of Algorithm 4 step 1; the actual
+    referee exchange stays on the main network.
+    """
+    tasks = [
+        SemiCommitTask(
+            committee_index=committee.index,
+            round_number=ctx.round_number,
+            keypair=ctx.node(committee.leader).keypair,
+            behavior=ctx.node(committee.leader).behavior,
+            member_list=tuple(sorted(ctx.node(committee.leader).member_list)),
+        )
+        for committee in ctx.committees
+    ]
+    return dict(ctx.shard_executor.run_semicommit_tasks(tasks))

@@ -97,6 +97,10 @@ class RoundContext:
     vote_records: dict[int, Any] = field(default_factory=dict)
     score_lists: dict[int, Any] = field(default_factory=dict)
     expelled_leaders: set[int] = field(default_factory=set)
+    # Shard-parallel execution (ProtocolParams.shard_workers >= 1): the
+    # executor the vote-round/semicommit fan-out dispatches through, or
+    # None for the historical interleaved path.
+    shard_executor: Any = None
 
     # -- helpers ------------------------------------------------------------
     def node(self, node_id: int) -> "CycNode":

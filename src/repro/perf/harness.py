@@ -185,6 +185,46 @@ def _time_fn(
     return TimingSummary.from_samples(samples), sim_time
 
 
+def _time_paired(
+    fn: Callable[[Any], Any],
+    state: Any,
+    baseline_fn: Callable[[Any], Any],
+    baseline_state: Any,
+    warmup: int,
+    repeats: int,
+) -> tuple[TimingSummary, TimingSummary, float]:
+    """The A/B variant of ``_time_fn``: alternate the two arms repeat by
+    repeat instead of timing one arm's whole block after the other's.
+
+    Pairing matters for the long-running ``round:*`` A/B cases: on a
+    shared or thermally drifting host, seconds-long un-paired blocks let
+    a slow window land entirely on one arm and masquerade as a speedup
+    (or regression).  Alternating samples the same machine conditions
+    into both arms, so the median *ratio* is robust even when the
+    absolute medians wobble.
+    """
+    for _ in range(warmup):
+        baseline_fn(baseline_state)
+        fn(state)
+    samples: list[float] = []
+    baseline_samples: list[float] = []
+    sim_time = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        baseline_fn(baseline_state)
+        baseline_samples.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        out = fn(state)
+        samples.append(time.perf_counter() - start)
+        if isinstance(out, (int, float)) and not isinstance(out, bool):
+            sim_time += float(out)
+    return (
+        TimingSummary.from_samples(samples),
+        TimingSummary.from_samples(baseline_samples),
+        sim_time,
+    )
+
+
 def _profile_hotspots(
     fn: Callable[[Any], Any], state: Any, top: int
 ) -> list[dict[str, Any]]:
@@ -311,18 +351,20 @@ def run_case(
     The equivalence ``check`` (when present) runs first: a case whose
     optimized and baseline paths disagree raises before any timing is
     reported.  Baseline timing uses *fresh* state from the same settings,
-    so both arms start from identical conditions.
+    so both arms start from identical conditions, and A/B repeats are
+    interleaved (``_time_paired``) so host drift cannot bias one arm.
     """
     if case.check is not None:
         case.check(settings)
     state = case.setup(settings)
-    wall, sim_time = _time_fn(case.run, state, warmup, repeats)
     baseline_wall: TimingSummary | None = None
     if case.baseline is not None:
         baseline_state = (case.baseline_setup or case.setup)(settings)
-        baseline_wall, _ = _time_fn(
-            case.baseline, baseline_state, warmup, repeats
+        wall, baseline_wall, sim_time = _time_paired(
+            case.run, state, case.baseline, baseline_state, warmup, repeats
         )
+    else:
+        wall, sim_time = _time_fn(case.run, state, warmup, repeats)
     hotspots: list[dict[str, Any]] = []
     if profile:
         hotspots = _profile_hotspots(case.run, case.setup(settings), top)

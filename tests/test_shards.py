@@ -1,0 +1,208 @@
+"""Shard-parallel intra-round execution: pool/serial identity, knob wiring.
+
+The contract under test (see ``repro.core.shards``): ``shard_workers=1``
+(sharded-serial) and ``shard_workers>=2`` (process pool) are byte-identical —
+same chain, same reputation, same per-round report numbers, same sweep
+artifacts — while ``shard_workers=0`` keeps the historical interleaved path
+untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import create_backend
+from repro.cli import main as cli_main
+from repro.core.config import ProtocolParams
+from repro.core.shards import (
+    ProcessShardExecutor,
+    SerialShardExecutor,
+    make_shard_executor,
+)
+from repro.exp import ExperimentSpec, Runner, derive_point_seed
+from repro.nodes.adversary import AdversaryConfig
+from repro.scenarios import SCENARIO_PRESETS
+
+SIZING = dict(
+    n=32,
+    m=3,
+    lam=2,
+    referee_size=8,
+    users_per_shard=8,
+    tx_per_committee=3,
+    cross_shard_ratio=0.3,
+    invalid_ratio=0.1,
+)
+
+
+def _fingerprint(workers: int, adversary=None, rounds: int = 2):
+    """Chain head + reputation + per-round headline numbers."""
+    params = ProtocolParams(shard_workers=workers, **SIZING)
+    ledger = create_backend("cycledger", params, adversary=adversary)
+    rows = []
+    for _ in range(rounds):
+        report = ledger.run_round()
+        rows.append(
+            (
+                report.packed,
+                report.messages,
+                report.bytes_sent,
+                report.sim_time,
+                report.recoveries,
+            )
+        )
+    return (
+        ledger.chain.head.hash,
+        tuple(sorted(ledger.reputation.items())),
+        tuple(rows),
+    )
+
+
+# -- pool == sharded-serial, byte for byte -----------------------------------
+def test_pool_matches_serial_honest():
+    assert _fingerprint(1) == _fingerprint(2)
+
+
+def test_pool_matches_serial_with_forced_ipc(monkeypatch):
+    # The pool's host-adaptive split keeps tasks in-process when workers
+    # cannot overlap; pretend we have CPUs to spare so every dispatch
+    # genuinely crosses the pool (pickling + worker rebuild exercised no
+    # matter what machine the suite runs on).
+    import repro.core.shards as shards
+
+    monkeypatch.setattr(shards, "_effective_cpus", lambda: 8)
+    assert _fingerprint(1) == _fingerprint(2)
+
+
+def test_parent_share_split():
+    pool = ProcessShardExecutor(2, "cycledger")
+    import repro.core.shards as shards
+
+    original = shards._effective_cpus
+    try:
+        shards._effective_cpus = lambda: 1
+        assert pool._parent_share(4) == 4  # no overlap possible: keep all
+        shards._effective_cpus = lambda: 8
+        assert pool._parent_share(4) == 2  # 2 workers + parent = 3 lanes
+        assert pool._parent_share(1) == 1
+    finally:
+        shards._effective_cpus = original
+
+
+def test_pool_matches_serial_under_adversary():
+    adversary = AdversaryConfig(
+        fraction=0.3,
+        leader_strategy="equivocating_leader",
+        offline_fraction=0.2,
+    )
+    assert _fingerprint(1, adversary) == _fingerprint(2, adversary)
+
+
+def test_legacy_path_unaffected_by_shard_module():
+    # shard_workers=0 must keep its own deterministic stream: two legacy
+    # runs agree with each other (the pre-overlap fixtures pin the actual
+    # bytes; here we only prove the path still runs and is reproducible).
+    assert _fingerprint(0) == _fingerprint(0)
+
+
+# -- sweep artifacts ---------------------------------------------------------
+def _sweep_spec(workers: int) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="shards",
+        rounds=2,
+        seeds=(0, 1),
+        base={"shard_workers": workers, **SIZING},
+    )
+
+
+def test_sweep_artifacts_byte_identical_across_executors():
+    serial = Runner(_sweep_spec(1), workers=1).run()
+    pooled = Runner(_sweep_spec(2), workers=1).run()
+    assert serial.json_bytes() == pooled.json_bytes()
+
+
+def test_spec_identity_normalizes_shard_workers():
+    # 1 and 2 are the same experiment (same hash, same derived seeds);
+    # 0 is a genuinely different protocol stream and keeps its own hash.
+    one, two, zero = _sweep_spec(1), _sweep_spec(2), _sweep_spec(0)
+    assert one.spec_hash() == two.spec_hash()
+    assert one.spec_hash() != zero.spec_hash()
+    p1, p2 = one.expand()[0], two.expand()[0]
+    assert p1.derived_seed == p2.derived_seed
+    assert derive_point_seed(
+        p1.params, p1.adversary, p1.seed, p1.rounds
+    ) == derive_point_seed(p2.params, p2.adversary, p2.seed, p2.rounds)
+
+
+def test_spec_rejects_shard_workers_as_sweep_axis():
+    with pytest.raises(ValueError, match="shard_workers"):
+        ExperimentSpec(
+            name="bad",
+            rounds=1,
+            seeds=(0,),
+            base=dict(SIZING),
+            grid={"shard_workers": (1, 2)},
+        )
+    with pytest.raises(ValueError, match="shard_workers"):
+        ExperimentSpec(
+            name="bad",
+            rounds=1,
+            seeds=(0,),
+            base=dict(SIZING),
+            points=({"shard_workers": 2},),
+        )
+
+
+# -- knob wiring -------------------------------------------------------------
+def test_make_shard_executor_tiers():
+    assert make_shard_executor(0, "cycledger") is None
+    serial = make_shard_executor(1, "cycledger")
+    assert type(serial) is SerialShardExecutor
+    pool = make_shard_executor(2, "cycledger")
+    assert isinstance(pool, ProcessShardExecutor)
+    assert pool.workers == 2
+
+
+def test_legacy_backend_has_no_executor():
+    ledger = create_backend("cycledger", ProtocolParams(**SIZING))
+    assert ledger._shard_executor is None
+
+
+def test_negative_shard_workers_rejected():
+    with pytest.raises(ValueError, match="shard_workers"):
+        ProtocolParams(shard_workers=-1, **SIZING)
+
+
+def test_shard_workers_incompatible_with_scenarios():
+    with pytest.raises(ValueError, match="scenario"):
+        create_backend(
+            "cycledger",
+            ProtocolParams(shard_workers=2, **SIZING),
+            scenario=SCENARIO_PRESETS["partition-halves"],
+        )
+
+
+def test_cli_run_accepts_shard_workers(capsys):
+    code = cli_main(
+        [
+            "run",
+            "--n",
+            "32",
+            "--m",
+            "3",
+            "--lam",
+            "2",
+            "--referee",
+            "8",
+            "--users",
+            "8",
+            "--txs",
+            "3",
+            "--rounds",
+            "1",
+            "--shard-workers",
+            "1",
+        ]
+    )
+    assert code == 0
+    assert capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""tools/check_links.py: relative-link resolution and exit codes."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tools"))
+
+import check_links  # noqa: E402
+
+
+def _tree(tmp_path, readme: str = "", docs: dict[str, str] | None = None):
+    (tmp_path / "README.md").write_text(readme)
+    if docs:
+        (tmp_path / "docs").mkdir(exist_ok=True)
+        for name, text in docs.items():
+            (tmp_path / "docs" / name).write_text(text)
+    return tmp_path
+
+
+def test_clean_tree_passes(tmp_path, capsys):
+    _tree(
+        tmp_path,
+        readme="[docs](docs/perf.md)",
+        docs={"perf.md": "[back](../README.md)"},
+    )
+    assert check_links.main([str(tmp_path), str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert captured.out == "checked 2 markdown files, 0 broken links\n"
+    assert captured.err == ""
+
+
+def test_broken_relative_link_fails(tmp_path, capsys):
+    _tree(tmp_path, readme="see [missing](docs/nope.md) for details")
+    assert check_links.main([str(tmp_path), str(tmp_path)]) == 1
+    captured = capsys.readouterr()
+    assert "README.md: broken link -> docs/nope.md" in captured.err
+    assert "checked 1 markdown files, 1 broken links" in captured.out
+
+
+def test_links_resolve_against_the_linking_file(tmp_path):
+    # docs/a.md -> b.md must resolve inside docs/, not the repo root.
+    _tree(tmp_path, docs={"a.md": "[sibling](b.md)", "b.md": "ok"})
+    assert check_links.main([str(tmp_path), str(tmp_path)]) == 0
+    _tree(tmp_path, docs={"a.md": "[stray](c.md)", "b.md": "ok"})
+    assert check_links.main([str(tmp_path), str(tmp_path)]) == 1
+
+
+def test_external_and_anchor_links_skipped(tmp_path):
+    _tree(
+        tmp_path,
+        readme=(
+            "[web](https://example.com/x.md) "
+            "[plain](http://example.com) "
+            "[mail](mailto:a@b.c) "
+            "[anchor](#section)"
+        ),
+    )
+    assert check_links.main([str(tmp_path), str(tmp_path)]) == 0
+
+
+def test_fragment_is_stripped_before_resolution(tmp_path):
+    _tree(
+        tmp_path,
+        readme="[section](docs/perf.md#gate)",
+        docs={"perf.md": "# gate"},
+    )
+    assert check_links.main([str(tmp_path), str(tmp_path)]) == 0
+    _tree(tmp_path, readme="[section](docs/gone.md#gate)", docs={})
+    assert check_links.main([str(tmp_path), str(tmp_path)]) == 1
+
+
+def test_image_links_are_checked(tmp_path, capsys):
+    _tree(tmp_path, readme="![plot](plots/missing.png)")
+    assert check_links.main([str(tmp_path), str(tmp_path)]) == 1
+    assert "plots/missing.png" in capsys.readouterr().err
+
+
+def test_empty_tree_counts_zero_files(tmp_path, capsys):
+    sub = tmp_path / "bare"
+    sub.mkdir()
+    assert check_links.main([str(sub), str(sub)]) == 0
+    assert "checked 0 markdown files" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "markdown, broken",
+    [
+        ('[titled](docs/perf.md "a title")', False),
+        ('[titled](docs/nope.md "a title")', True),
+    ],
+)
+def test_titled_links(tmp_path, markdown, broken, capsys):
+    _tree(tmp_path, readme=markdown, docs={"perf.md": "ok"})
+    assert check_links.main([str(tmp_path), str(tmp_path)]) == (1 if broken else 0)
