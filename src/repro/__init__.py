@@ -54,7 +54,7 @@ from repro.ledger.workload import TxMempool
 from repro.nodes.adversary import AdversaryConfig, AdversaryController
 from repro.scenarios import SCENARIO_PRESETS, Scenario
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BACKEND_REGISTRY",

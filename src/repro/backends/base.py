@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.config import ProtocolParams
 from repro.core.node import CycNode
 from repro.core.pipeline import OverlapScheduler, PhasePipeline
+from repro.core.reputation import ReputationStore
 from repro.core.sortition import REFEREE_ROLE, crypto_sort, rank_select
 from repro.core.structures import CommitteeSpec, RoundContext
 from repro.crypto.hashing import H
@@ -218,7 +219,9 @@ def init_shared_state(
     for state in ledger.shard_states:
         state.add_genesis(ledger.workload.genesis_tx)
     ledger.chain = Chain()
-    ledger.reputation = {node.pk: 0.0 for node in ledger.nodes.values()}
+    ledger.reputation = ReputationStore(
+        node.pk for node in ledger.nodes.values()
+    )
     ledger.rewards = {}
     ledger.round_number = 1
     return scenario_ss
@@ -339,7 +342,8 @@ class CommitteeSimBackend:
             REFEREE_ROLE,
             self.params.referee_size,
         )
-        rest = [pk for pk in all_pks if pk not in set(self._next_referee)]
+        referee_set = set(self._next_referee)
+        rest = [pk for pk in all_pks if pk not in referee_set]
         self._next_leaders = rank_select(
             rest, self.round_number, self.randomness, "LEADER", self.params.m
         )

@@ -40,6 +40,19 @@ class _ConfigSession:
         self.k = committee_index
         self.committee = ctx.committees[committee_index]
         self.rejected = 0
+        # Hoisted per-session indexes: the MEM_LIST/MEMBER handlers run
+        # O(c) times each and previously rebuilt these per message (an
+        # O(c³)-ish hidden quadratic at large committee sizes).
+        self._id_by_pk = {
+            ctx.pk_of(mid): mid for mid in self.committee.members
+        }
+        self._key_pks = frozenset(
+            ctx.pk_of(kid) for kid in self.committee.key_members
+        )
+        # Ticket verification is deterministic per (identity, ticket); every
+        # key member (and later every listed member) re-checks the same
+        # announcement, so memoize the verdict per session.
+        self._verify_cache: dict[tuple, bool] = {}
 
     def _tag(self, base: str) -> str:
         return f"{base}:cfg:{self.k}"
@@ -74,17 +87,24 @@ class _ConfigSession:
     def _verify(self, identity: tuple[str, str], ticket) -> bool:
         if not isinstance(ticket, SortitionTicket):
             return False
+        key = (identity, ticket)
+        cached = self._verify_cache.get(key)
+        if cached is not None:
+            return cached
         if ticket.vrf.pk != identity[0]:
-            return False
-        if ticket.committee_id != self.k:
-            return False
-        return verify_sortition(
-            self.ctx.pki,
-            ticket,
-            self.ctx.round_number,
-            self.ctx.randomness,
-            self.ctx.params.m,
-        )
+            result = False
+        elif ticket.committee_id != self.k:
+            result = False
+        else:
+            result = verify_sortition(
+                self.ctx.pki,
+                ticket,
+                self.ctx.round_number,
+                self.ctx.randomness,
+                self.ctx.params.m,
+            )
+        self._verify_cache[key] = result
+        return result
 
     def _make_on_config(self, kid: int):
         def handler(message: "Message") -> None:
@@ -110,9 +130,7 @@ class _ConfigSession:
             # Introduce ourselves to newly discovered members (line 19:
             # "all unconnected committee members on the list").  Key members
             # were already contacted via CONFIG, so they are not new.
-            key_pks = {
-                self.ctx.pk_of(kid) for kid in self.committee.key_members
-            }
+            key_pks = self._key_pks
             new_ids = {
                 identity for identity in node.member_list
                 if identity not in known_before
@@ -141,10 +159,7 @@ class _ConfigSession:
         return handler
 
     def _node_id_by_pk(self, pk: str) -> int | None:
-        for mid in self.committee.members:
-            if self.ctx.pk_of(mid) == pk:
-                return mid
-        return None
+        return self._id_by_pk.get(pk)
 
 
 def run_committee_configuration(ctx: RoundContext) -> ConfigReport:

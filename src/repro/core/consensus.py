@@ -40,6 +40,7 @@ from repro.crypto.signatures import (
     signers_of,
     verify_encoded,
 )
+from repro.net.message import payload_size
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.structures import RoundContext
@@ -161,6 +162,14 @@ class InsideConsensus:
         self._stopped: set[int] = set()
         # Leader state
         self._confirm_sigs: dict[str, Signature] = {}
+        self._member_pks = frozenset(ctx.pk_of(mid) for mid in self.members)
+        # Payload-identity digest memo: every PROPOSE delivery used to
+        # recompute the full-payload digest (O(C) canonical encodings of an
+        # O(D) payload per session — the top profile hotspot at large n).
+        # Digests are memoized by payload *identity*; holding the payload
+        # reference keeps ids stable.  Honest sessions have exactly one
+        # entry; an equivocating leader adds one per variant, capped below.
+        self._digest_memo: list[tuple[Any, bytes]] = []
         # Encoded-statement memos: within one session every member signs or
         # verifies the same PROPOSE header, ECHO statement and CONFIRM
         # statement per digest — O(C²) scalar sign/verify calls would
@@ -170,6 +179,19 @@ class InsideConsensus:
         self._enc_header: dict[bytes, bytes] = {}
         self._enc_echo: dict[tuple[bytes, int], bytes] = {}
         self._enc_confirm: dict[bytes, bytes] = {}
+
+    _DIGEST_MEMO_MAX = 8
+
+    def _payload_digest(self, payload: Any) -> bytes:
+        """``consensus_digest`` with an identity memo (same value, computed
+        once per distinct payload object instead of once per delivery)."""
+        for seen, digest in self._digest_memo:
+            if seen is payload:
+                return digest
+        digest = consensus_digest(payload)
+        if len(self._digest_memo) < self._DIGEST_MEMO_MAX:
+            self._digest_memo.append((payload, digest))
+        return digest
 
     # -- encoded-statement memos ------------------------------------------
     def _header_enc(self, digest: bytes) -> bytes:
@@ -217,24 +239,31 @@ class InsideConsensus:
         )
         if variants is None:
             variants = {rid: self.payload for rid in recipients}
-        # One signature per distinct digest, not per recipient: an honest
-        # leader proposes one payload to the whole set (a single sign), an
-        # equivocating leader pays once per variant.
+        # One signature, one packet tuple and one recursive size per
+        # distinct digest, not per recipient: an honest leader proposes one
+        # payload to the whole set (a single sign + size), an equivocating
+        # leader pays once per variant.  Recipients sharing a digest share
+        # byte-equal payloads, so reusing the first packet is stream-exact.
         sig_by_digest: dict[bytes, Signature] = {}
+        packet_by_digest: dict[bytes, tuple[tuple, int]] = {}
         for rid in recipients:
             m = variants.get(rid, self.payload)
             if m is ...:
                 continue  # silent toward this member
-            digest = consensus_digest(m)
-            sig = sig_by_digest.get(digest)
-            if sig is None:
+            digest = self._payload_digest(m)
+            entry = packet_by_digest.get(digest)
+            if entry is None:
                 sig = sign_encoded(leader_node.keypair, self._header_enc(digest))
                 sig_by_digest[digest] = sig
-            leader_node.send(rid, self._tag("PROPOSE"), (sig, digest, m))
+                packet = (sig, digest, m)
+                entry = (packet, payload_size(packet))
+                packet_by_digest[digest] = entry
+            packet, size = entry
+            leader_node.send(rid, self._tag("PROPOSE"), packet, size=size)
         # The leader is also a member (Alg. 3 line 11: "any member i,
         # including leader l"): it accepts its own proposal and broadcasts
         # its ECHO like everyone else.
-        own_digest = consensus_digest(self.payload)
+        own_digest = self._payload_digest(self.payload)
         own_sig = sig_by_digest.get(own_digest)
         if own_sig is None:
             own_sig = sign_encoded(
@@ -245,9 +274,11 @@ class InsideConsensus:
         echo_sig = sign_encoded(
             leader_node.keypair, self._echo_enc(own_digest, self.leader)
         )
+        echo_packet = (echo_sig, own_digest, self.leader, own_sig)
+        echo_size = payload_size(echo_packet)
         for other in recipients:
             leader_node.send(
-                other, self._tag("ECHO"), (echo_sig, own_digest, self.leader, own_sig)
+                other, self._tag("ECHO"), echo_packet, size=echo_size
             )
         self._record_echo(self.leader, own_digest, self.leader, echo_sig)
 
@@ -263,7 +294,7 @@ class InsideConsensus:
                 self.ctx.pki, sig, self._header_enc(digest), leader_pk
             ):
                 return  # forged or mis-signed: ignore
-            if consensus_digest(payload) != digest:
+            if self._payload_digest(payload) != digest:
                 return  # digest does not match the message body
             self._note_header(mid, digest, sig)
             if mid in self._proposed:
@@ -274,9 +305,13 @@ class InsideConsensus:
             echo_sig = sign_encoded(node.keypair, self._echo_enc(digest, mid))
             # Broadcast ECHO + relay the leader-signed header (not the body:
             # "the digest helps to mitigate the burden on the channel").
+            echo_packet = (echo_sig, digest, mid, sig)
+            echo_size = payload_size(echo_packet)
             for other in self.members:
                 if other != mid:
-                    node.send(other, self._tag("ECHO"), (echo_sig, digest, mid, sig))
+                    node.send(
+                        other, self._tag("ECHO"), echo_packet, size=echo_size
+                    )
             self._record_echo(mid, digest, mid, echo_sig)
             self._maybe_confirm(mid)
 
@@ -379,15 +414,14 @@ class InsideConsensus:
         self._accept_confirm(confirm_sig, digest)
 
     def _accept_confirm(self, confirm_sig: Signature, digest: bytes) -> None:
-        expected_digest = consensus_digest(self.payload)
+        expected_digest = self._payload_digest(self.payload)
         if digest != expected_digest:
             return
         if not verify_encoded(
             self.ctx.pki, confirm_sig, self._confirm_enc(digest)
         ):
             return
-        member_pks = {self.ctx.pk_of(mid) for mid in self.members}
-        if confirm_sig.pk not in member_pks:
+        if confirm_sig.pk not in self._member_pks:
             return
         self._confirm_sigs[confirm_sig.pk] = confirm_sig
         self.outcome.confirms = len(self._confirm_sigs)

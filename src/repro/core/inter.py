@@ -43,6 +43,7 @@ from repro.core.voting import (
 )
 from repro.ledger.transaction import Transaction, shard_of_address
 from repro.ledger.utxo import ValidationResult
+from repro.net.message import payload_size
 
 
 @dataclass
@@ -122,21 +123,42 @@ def run_inter_consensus(ctx: RoundContext) -> InterReport:
     packages: dict[tuple[int, int], tuple] = {}
     partial_received: dict[tuple[int, int], set[int]] = {}
 
-    def make_on_inter_send(node_id: int, is_leader: bool):
-        def handler(message) -> None:
-            i, j, txs, alg3_payload, cert, session = message.payload
-            key = (i, j)
-            member_pks = [pk for pk, _ in ctx.member_lists.get(i, ())]
-            digest = consensus_digest(alg3_payload)
-            valid = member_pks and verify_certificate(
+    # Each package fans out to the receiving leader plus its partial set;
+    # the certificate check (O(c) signature verifications over a
+    # full-payload digest) is deterministic per package, so verify once per
+    # payload object and share the verdict across recipients.  Holding the
+    # payload reference keeps the identity key stable.
+    valid_cache: dict[int, bool] = {}
+    cache_refs: list = []
+
+    def _package_valid(payload: tuple) -> bool:
+        cached = valid_cache.get(id(payload))
+        if cached is not None:
+            return cached
+        i, _j, txs, alg3_payload, cert, session = payload
+        member_pks = [pk for pk, _ in ctx.member_lists.get(i, ())]
+        digest = consensus_digest(alg3_payload)
+        result = bool(
+            member_pks
+            and verify_certificate(
                 ctx.pki,
                 member_pks,
                 ctx.round_number,
                 ("VOTEROUND", session),
                 digest,
                 cert,
-            ) and tuple(tx.txid for tx in txs) == alg3_payload[0]
-            if not valid:
+            )
+            and tuple(tx.txid for tx in txs) == alg3_payload[0]
+        )
+        valid_cache[id(payload)] = result
+        cache_refs.append(payload)
+        return result
+
+    def make_on_inter_send(node_id: int, is_leader: bool):
+        def handler(message) -> None:
+            i, j, txs, alg3_payload, cert, session = message.payload
+            key = (i, j)
+            if not _package_valid(message.payload):
                 report.forged_rejected += 1
                 return
             if is_leader:
@@ -168,9 +190,10 @@ def run_inter_consensus(ctx: RoundContext) -> InterReport:
             tuple(round_result.cert),
             round_result.session,
         )
-        sender.send(receiver_committee.leader, Tags.INTER_SEND, payload)
+        size = payload_size(payload)
+        sender.send(receiver_committee.leader, Tags.INTER_SEND, payload, size=size)
         for pid in receiver_committee.partial:
-            sender.send(pid, Tags.INTER_SEND, payload)
+            sender.send(pid, Tags.INTER_SEND, payload, size=size)
     ctx.net.run()
 
     # -- Lemma 7: partial members saw the package, the leader "didn't" -------

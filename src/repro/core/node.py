@@ -23,7 +23,25 @@ class CycNode(ProtocolNode):
 
     Role flags are reassigned every round by the selection/configuration
     phases.
+
+    Slotted (ISSUE 7): at n=4096 the per-node ``__dict__`` alone was the
+    dominant resident cost of an idle node.  ``ticket`` is the round's
+    sortition ticket, assigned by the orchestrators' ``_assign_round``.
     """
+
+    __slots__ = (
+        "capacity",
+        "budget_left",
+        "behavior",
+        "address",
+        "committee_id",
+        "is_leader",
+        "is_partial",
+        "is_referee",
+        "member_list",
+        "shard_state",
+        "ticket",
+    )
 
     def __init__(
         self,
@@ -45,6 +63,7 @@ class CycNode(ProtocolNode):
         # Per-round protocol state
         self.member_list: set[tuple[str, str]] = set()  # <PK, address> pairs
         self.shard_state: "ShardState | None" = None
+        self.ticket = None  # SortitionTicket, set by _assign_round
 
     @property
     def is_key_member(self) -> bool:
@@ -79,7 +98,9 @@ class CycNode(ProtocolNode):
         self.is_referee = False
         self.member_list = set()
         self.shard_state = None
-        self.handlers.clear()
+        # Drop the mailbox entirely (it is lazily re-created on the first
+        # handler registration), so a node idle next round carries none.
+        self.handlers = None
 
     def identity(self) -> tuple[str, str]:
         """The ``<PK, address>`` pair used in member lists."""

@@ -232,9 +232,11 @@ class CycLedger:
         self._next_referee = rank_select(
             all_pks, 1, self.randomness, REFEREE_ROLE, params.referee_size
         )
-        rest = [pk for pk in all_pks if pk not in set(self._next_referee)]
+        referee_set = set(self._next_referee)
+        rest = [pk for pk in all_pks if pk not in referee_set]
         self._next_leaders = rank_select(rest, 1, self.randomness, "LEADER", params.m)
-        pool = [pk for pk in rest if pk not in set(self._next_leaders)]
+        leader_set = set(self._next_leaders)
+        pool = [pk for pk in rest if pk not in leader_set]
         self._next_partials = assign_partial_sets(
             pool, 1, self.randomness, params.m, params.lam
         )

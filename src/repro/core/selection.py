@@ -25,7 +25,7 @@ from repro.core.sortition import (
     REFEREE_ROLE,
     assign_partial_sets,
     rank_select,
-    role_hash,
+    role_digests,
 )
 from repro.core.structures import RoundContext
 from repro.core.tags import Tags
@@ -139,18 +139,26 @@ def run_selection(ctx: RoundContext) -> SelectionReport:
         REFEREE_ROLE,
         params.referee_size,
     )
-    remaining = [pk for pk in participants if pk not in set(next_referee)]
+    referee_set = set(next_referee)
+    remaining = [pk for pk in participants if pk not in referee_set]
     # Leaders: the m highest-reputation remaining participants; ties broken
     # by the role hash so the choice stays deterministic and unbiased.
-    remaining_sorted = sorted(
-        remaining,
-        key=lambda pk: (
-            -ctx.reputation.get(pk, 0.0),
-            role_hash(ctx.round_number + 1, randomness, pk, "LEADER"),
+    # One batched digest pass replaces the per-pk role_hash in the sort
+    # key (digest byte order == role-hash integer order).
+    leader_digests = role_digests(
+        ctx.round_number + 1, randomness, remaining, "LEADER"
+    )
+    reputation = ctx.reputation
+    order = sorted(
+        range(len(remaining)),
+        key=lambda i: (
+            -reputation.get(remaining[i], 0.0),
+            leader_digests[i],
         ),
     )
-    next_leaders = remaining_sorted[: params.m]
-    pool = [pk for pk in remaining if pk not in set(next_leaders)]
+    next_leaders = [remaining[i] for i in order[: params.m]]
+    leader_set = set(next_leaders)
+    pool = [pk for pk in remaining if pk not in leader_set]
     # Partial sets: uniform rank lottery, then committee assignment by
     # H(r+1 || R^r || PK || PARTIAL_SET_MEMBER) mod m, topped up in rank
     # order so every committee gets exactly λ.

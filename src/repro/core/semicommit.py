@@ -28,6 +28,7 @@ from repro.crypto.commitment import (
     superset_consistent,
 )
 from repro.crypto.signatures import encode_statement, sign, signed_by_encoded
+from repro.net.message import payload_size
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.message import Message
@@ -95,10 +96,11 @@ class _SemiCommitSession:
             statement = ("SEMI_COM", ctx.round_number, commitment, claimed_list)
             sig = sign(leader.keypair, statement)
         payload = (k, commitment, claimed_list, sig)
+        size = payload_size(payload)
         for rid in ctx.referee:
-            leader.send(rid, Tags.SEMI_COM, payload)
+            leader.send(rid, Tags.SEMI_COM, payload, size=size)
         for pid in committee.partial:
-            leader.send(pid, Tags.SEMI_COM, payload)
+            leader.send(pid, Tags.SEMI_COM, payload, size=size)
         # Leaders also note down all other committees' commitments once C_R
         # redistributes them — O(m) storage (Table II).
 
@@ -171,11 +173,18 @@ class _SemiCommitSession:
             # Algorithm 4 line 17: EVERY referee member transmits the valid
             # set to every leader/key member — the O(m²) intermediary
             # traffic Table II attributes to C_R members.
+            announcement = dict(valid)
+            announcement_size = payload_size(announcement)
             for rid in ctx.referee:
                 announcer = ctx.node(rid)
                 for committee in ctx.committees:
                     for kid in committee.key_members:
-                        announcer.send(kid, Tags.SEMI_COM_SET, dict(valid))
+                        announcer.send(
+                            kid,
+                            Tags.SEMI_COM_SET,
+                            announcement,
+                            size=announcement_size,
+                        )
             ctx.net.run()
 
     # -- partial-set cross-check (step 3) -----------------------------------

@@ -18,11 +18,14 @@ orchestrator uses; the threshold form is kept and tested for fidelity.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.crypto.hashing import H_int
+import numpy as np
+
+from repro.crypto.hashing import H_int, canonical_bytes
 from repro.crypto.pki import PKI, KeyPair
 from repro.crypto.vrf import VRFOutput, vrf_eval, vrf_verify
 
@@ -73,8 +76,41 @@ def verify_sortition(
 
 
 def role_hash(round_number: int, randomness: bytes, pk: str, role: str) -> int:
-    """H(r+1 || R_r || PK_i || role) as a 256-bit integer."""
+    """H(r+1 || R_r || PK_i || role) as a 256-bit integer.
+
+    Scalar form, kept as the reference ("legacy") lottery; the batched
+    :func:`role_digests` produces the same digests for a whole roster at
+    once and is what the selection paths use at scale.  Equality of the
+    two is asserted in the test suite, byte for byte.
+    """
     return H_int("ROLE", round_number, randomness, pk, role)
+
+
+def role_digests(
+    round_number: int, randomness: bytes, pks: Sequence[str], role: str
+) -> list[bytes]:
+    """Batched role lottery: one 32-byte digest per roster entry.
+
+    All draws for one (round, randomness, role) share the SHA-256 prefix
+    ``enc("ROLE") || enc(r) || enc(R)``, so the prefix is absorbed once and
+    only ``enc(PK) || enc(role)`` is hashed per node — the per-node cost
+    drops from four encodings plus a full hash to one encoding plus a
+    32-byte-state copy.  Digest bytes compare lexicographically exactly as
+    the 256-bit big-endian integers :func:`role_hash` returns, so rankings
+    computed on either representation are identical.
+    """
+    base = hashlib.sha256()
+    base.update(canonical_bytes("ROLE"))
+    base.update(canonical_bytes(round_number))
+    base.update(canonical_bytes(randomness))
+    role_enc = canonical_bytes(role)
+    digests = []
+    for pk in pks:
+        h = base.copy()
+        h.update(canonical_bytes(pk))
+        h.update(role_enc)
+        digests.append(h.digest())
+    return digests
 
 
 def passes_threshold(
@@ -91,6 +127,42 @@ def passes_threshold(
     return role_hash(round_number, randomness, pk, role) < int(
         difficulty * _HASH_SPACE
     )
+
+
+def passes_threshold_many(
+    round_number: int,
+    randomness: bytes,
+    pks: Sequence[str],
+    role: str,
+    difficulty: float,
+) -> np.ndarray:
+    """Batched threshold draw over a whole roster (one bool per pk).
+
+    Equivalent to ``[passes_threshold(r, R, pk, role, d) for pk in pks]``
+    but hashes via :func:`role_digests` and compares all digests against
+    the threshold in one vectorized lexicographic pass: selected iff the
+    digest's first byte differing from the threshold's 32-byte big-endian
+    form is smaller (byte order == 256-bit integer order).
+    """
+    if not (0.0 <= difficulty <= 1.0):
+        raise ValueError("difficulty is a probability")
+    count = len(pks)
+    if count == 0:
+        return np.zeros(0, dtype=bool)
+    threshold = int(difficulty * _HASH_SPACE)
+    if threshold >= _HASH_SPACE:
+        return np.ones(count, dtype=bool)
+    if threshold <= 0:
+        return np.zeros(count, dtype=bool)
+    digests = role_digests(round_number, randomness, pks, role)
+    matrix = np.frombuffer(b"".join(digests), dtype=np.uint8).reshape(count, 32)
+    bound = np.frombuffer(threshold.to_bytes(32, "big"), dtype=np.uint8)
+    differs = matrix != bound
+    first = np.where(differs.any(axis=1), differs.argmax(axis=1), 31)
+    rows = np.arange(count)
+    # A digest exactly equal to the threshold is *not* below it; the
+    # fallback column 31 then compares equal and correctly yields False.
+    return matrix[rows, first] < bound[first]
 
 
 def partial_committee_of(
@@ -113,17 +185,20 @@ def assign_partial_sets(
     top up underfull committees from the overflow in rank order.
 
     Shared by the bootstrap assignment (round 1) and the selection phase
-    (every subsequent round) so the two can never drift.
+    (every subsequent round) so the two can never drift.  One batched
+    digest pass serves both the ranking and the mod-m committee draw —
+    the per-pk :func:`partial_committee_of` recomputation is gone.
     """
-    ranked = rank_select(pool, round_number, randomness, PARTIAL_ROLE, len(pool))
+    digests = role_digests(round_number, randomness, pool, PARTIAL_ROLE)
+    order = sorted(range(len(pool)), key=digests.__getitem__)
     partials: list[list[str]] = [[] for _ in range(m)]
     overflow: deque[str] = deque()
-    for pk in ranked:
-        k = partial_committee_of(round_number, randomness, pk, m)
+    for index in order:
+        k = int.from_bytes(digests[index], "big") % m
         if len(partials[k]) < lam:
-            partials[k].append(pk)
+            partials[k].append(pool[index])
         else:
-            overflow.append(pk)
+            overflow.append(pool[index])
     for k in range(m):
         while len(partials[k]) < lam and overflow:
             partials[k].append(overflow.popleft())
@@ -141,13 +216,14 @@ def rank_select(
 
     Sorting by the role hash and taking the lowest ``count`` is distributed
     identically to the threshold rule conditioned on the selected-set size —
-    the standard fixed-size derandomization.
+    the standard fixed-size derandomization.  Ranks on the batched digest
+    vector; byte order equals the scalar integer order, and the sort is
+    stable either way, so the selection is unchanged down to tie handling.
     """
     if count > len(candidates):
         raise ValueError(
             f"cannot select {count} from {len(candidates)} candidates"
         )
-    ranked = sorted(
-        candidates, key=lambda pk: role_hash(round_number, randomness, pk, role)
-    )
-    return ranked[:count]
+    digests = role_digests(round_number, randomness, candidates, role)
+    order = sorted(range(len(candidates)), key=digests.__getitem__)
+    return [candidates[index] for index in order[:count]]

@@ -20,7 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.node import CycNode
 
 
-@dataclass
+@dataclass(slots=True)
 class CommitteeSpec:
     """One committee C_k for one round: leader, partial set, all members."""
 
@@ -54,7 +54,7 @@ class CommitteeSpec:
         self.leader = new_leader
 
 
-@dataclass
+@dataclass(slots=True)
 class RecoveryEvent:
     """Record of one leader re-selection (for reports and punishment)."""
 
@@ -67,7 +67,7 @@ class RecoveryEvent:
     sim_time: float
 
 
-@dataclass
+@dataclass(slots=True)
 class RoundContext:
     """Everything the seven phase executors need for one round."""
 
@@ -101,6 +101,11 @@ class RoundContext:
     # executor the vote-round/semicommit fan-out dispatches through, or
     # None for the historical interleaved path.
     shard_executor: Any = None
+    # Lazy pk -> node index backing :meth:`node_by_pk` (populations are
+    # fixed for a context's lifetime, so one build serves every lookup).
+    _pk_index: "dict[str, CycNode] | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     # -- helpers ------------------------------------------------------------
     def node(self, node_id: int) -> "CycNode":
@@ -110,10 +115,15 @@ class RoundContext:
         return self.nodes[node_id].pk
 
     def node_by_pk(self, pk: str) -> "CycNode":
-        for node in self.nodes.values():
-            if node.pk == pk:
-                return node
-        raise KeyError(pk)
+        index = self._pk_index
+        if index is None:
+            self._pk_index = index = {
+                node.pk: node for node in self.nodes.values()
+            }
+        node = index.get(pk)
+        if node is None:
+            raise KeyError(pk)
+        return node
 
     def committee(self, index: int) -> CommitteeSpec:
         return self.committees[index]

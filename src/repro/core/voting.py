@@ -36,6 +36,7 @@ from repro.crypto.signatures import (
     verify,
 )
 from repro.ledger.transaction import Transaction
+from repro.net.message import payload_size
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.message import Message
@@ -115,6 +116,7 @@ class VoteRoundSession:
             txids=self.txids,
         )
         self._votes: dict[int, np.ndarray] = {}
+        self._member_set = frozenset(committee.members)
         # Every member verifies the leader's signature over the SAME
         # TX_LIST statement; encode each distinct statement once per
         # session instead of once per member.
@@ -146,10 +148,18 @@ class VoteRoundSession:
         if proposes and leader_node.online:
             statement = ("TX_LIST", ctx.round_number, committee.index, self.txids)
             sig = sign(leader_node.keypair, statement)
+            # One payload object and one recursive size computation for the
+            # whole fan-out, not one per member (the TXList is O(D) to
+            # size, so per-member sizing was an O(c·D) hidden quadratic).
+            txlist_payload = (self.txs, sig)
+            txlist_size = payload_size(txlist_payload)
             for mid in committee.members:
                 if mid != committee.leader:
                     leader_node.send(
-                        mid, self._tag("TX_LIST"), (self.txs, sig)
+                        mid,
+                        self._tag("TX_LIST"),
+                        txlist_payload,
+                        size=txlist_size,
                     )
             # The leader votes too (it is a member, Alg. 5 line 21).
             self._votes[committee.leader] = self.vote_fn(
@@ -201,7 +211,7 @@ class VoteRoundSession:
         if self._tallied:
             return  # replies after the 6Δ window count as Unknown
         mid, votes, vote_sig = message.payload
-        if mid not in set(self.committee.members):
+        if mid not in self._member_set:
             return
         vote_statement = (
             "VOTE",

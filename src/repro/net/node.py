@@ -17,13 +17,22 @@ class ProtocolNode:
     Subclasses register handlers with :meth:`on`; unhandled tags go to
     :meth:`on_default` (a no-op for honest nodes — unknown messages from
     Byzantine peers are simply ignored, as in classical BFT practice).
+
+    The class is slotted and the handler mailbox is allocated lazily on
+    the first :meth:`on` call: at large n most nodes are idle in any given
+    phase, and an idle node must cost a few pointers, not a dict.  The
+    first registration in a round also reports the node to its network's
+    activation ledger (see ``Network.activated``), which is what the
+    round orchestrators use to reset only the nodes that did anything.
     """
+
+    __slots__ = ("node_id", "keypair", "network", "handlers", "online")
 
     def __init__(self, node_id: int, keypair: KeyPair) -> None:
         self.node_id = node_id
         self.keypair = keypair
         self.network: "Network | None" = None
-        self.handlers: dict[str, Callable[["Message"], None]] = {}
+        self.handlers: dict[str, Callable[["Message"], None]] | None = None
         self.online = True
 
     # -- wiring ------------------------------------------------------------
@@ -31,7 +40,12 @@ class ProtocolNode:
         self.network = network
 
     def on(self, tag: str, handler: Callable[["Message"], None]) -> None:
-        self.handlers[tag] = handler
+        handlers = self.handlers
+        if handlers is None:
+            self.handlers = handlers = {}
+            if self.network is not None:
+                self.network.note_activation(self.node_id)
+        handlers[tag] = handler
 
     # -- I/O ------------------------------------------------------------------
     def send(self, recipient: int, tag: str, payload: Any, size: int | None = None) -> None:
@@ -52,7 +66,8 @@ class ProtocolNode:
     def receive(self, message: "Message") -> None:
         if not self.online:
             return  # offline nodes hear nothing
-        handler = self.handlers.get(message.tag)
+        handlers = self.handlers
+        handler = handlers.get(message.tag) if handlers is not None else None
         if handler is not None:
             handler(message)
         else:

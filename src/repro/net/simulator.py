@@ -96,7 +96,18 @@ class Network:
         # multipliers.  Both compose with drop_filter/adversarial_scheduler.
         self._partition: dict[int, int] | None = None
         self.partition_dropped = 0
+        # Degradation windows, kept sorted by start time.  Delivery time is
+        # monotone within a round, so lookups keep a cursor into the sorted
+        # list and an active set instead of scanning every window per send
+        # (see :meth:`_degradation_factor`).
         self._degradations: list[tuple[float, float, float, frozenset[str] | None]] = []
+        self._deg_cursor = 0
+        self._deg_active: list[tuple[float, float, float, frozenset[str] | None]] = []
+        # Round-local activation ledger: node ids that allocated a mailbox
+        # (registered their first handler) this round, in activation order.
+        # Idle nodes never appear here — at large n that is most of them —
+        # so per-round bookkeeping can touch |active| nodes, not n.
+        self._activated: list[int] = []
         # Per-class base delays resolved once (params is frozen): a dict
         # probe per message instead of the string-compare chain in
         # NetworkParams.base_delay.
@@ -138,6 +149,20 @@ class Network:
         self._partition = None
         self.partition_dropped = 0
         self._degradations.clear()
+        self._deg_cursor = 0
+        self._deg_active.clear()
+        self._activated.clear()
+
+    def note_activation(self, node_id: int) -> None:
+        """Record that a node allocated its mailbox this round (called by
+        ``ProtocolNode.on`` exactly once per node per round)."""
+        self._activated.append(node_id)
+
+    @property
+    def activated(self) -> list[int]:
+        """Node ids that registered at least one handler since the last
+        :meth:`reset`, in first-activation order."""
+        return self._activated
 
     def add_node(self, node: "ProtocolNode") -> None:
         if node.node_id in self.nodes:
@@ -202,14 +227,42 @@ class Network:
         self._degradations.append(
             (start, end, float(factor), frozenset(channels) if channels else None)
         )
+        # Re-sort and rebuild the cursor state; registration is rare (a
+        # handful of scenario events per run) while lookups run per send.
+        self._degradations.sort(key=lambda window: window[0])
+        self._deg_cursor = 0
+        self._deg_active.clear()
 
     def _degradation_factor(self, channel_class: str) -> float:
+        """Composite delay multiplier for sends at the current sim time.
+
+        Windowed lookup over the start-sorted registry: the cursor admits
+        windows whose start has passed, expired windows are dropped from
+        the active set as they are seen, and the common case — no window
+        currently active — costs one length check.  Callers already
+        short-circuit entirely when no degradations are registered.
+        """
+        degradations = self._degradations
+        cursor = self._deg_cursor
+        now = self.now
+        if cursor < len(degradations):
+            while cursor < len(degradations) and degradations[cursor][0] <= now:
+                self._deg_active.append(degradations[cursor])
+                cursor += 1
+            self._deg_cursor = cursor
+        active = self._deg_active
+        if not active:
+            return 1.0
         factor = 1.0
-        for start, end, multiplier, channels in self._degradations:
-            if start <= self.now < end and (
-                channels is None or channel_class in channels
-            ):
+        expired = False
+        for start, end, multiplier, channels in active:
+            if now >= end:
+                expired = True
+                continue
+            if channels is None or channel_class in channels:
                 factor *= multiplier
+        if expired:
+            self._deg_active = [w for w in active if now < w[1]]
         return factor
 
     # -- latency model ----------------------------------------------------

@@ -390,6 +390,48 @@ def _register_round_cases() -> None:
 _register_round_cases()
 
 
+# -- scale: the scalability curve to n=4096 -----------------------------------
+#: The n-axis of the scalability curve.  Sizing is paper-mode
+#: (``PerfSettings.scale_sized``): m grows with n so the committee size
+#: stays ≈ 30 and the per-round cost is dominated by committee *count*,
+#: not by O(c²) consensus blow-up inside ever-larger committees.
+SCALE_CURVE = (128, 256, 512, 1024, 2048, 4096)
+
+#: Per-backend ceilings on the curve.  All three currently ride it to the
+#: top (a CycLedger round at n=4096 is ~10⁶ messages and finishes well
+#: inside the bench budget; the rivals are far cheaper); lower a backend's
+#: cap here if it ever grows a superlinear phase instead of timing out
+#: the whole bench.
+SCALE_CAPS = {"cycledger": 4096, "rapidchain": 4096, "omniledger_sim": 4096}
+
+
+def _register_scale_cases() -> None:
+    from repro.backends import BACKEND_REGISTRY
+
+    for backend in sorted(BACKEND_REGISTRY):
+        register_perf_case(
+            PerfCase(
+                name=f"scale:{backend}",
+                description=(
+                    f"wall-clock-vs-n scalability curve for {backend}: one "
+                    "full round per curve point under paper-mode sizing "
+                    "(m grows with n, committee size bounded)"
+                ),
+                category="scale",
+                setup=_round_setup_for(backend),
+                run=_round_run,
+                ops=lambda s: 2 * s.m * s.tx_per_committee,
+                backend=backend,
+                scales=SCALE_CURVE,
+                max_scale=SCALE_CAPS.get(backend),
+                max_repeats=2,
+            )
+        )
+
+
+_register_scale_cases()
+
+
 # -- round: continuous-time overlap engine ------------------------------------
 def _overlap_setup(settings: PerfSettings) -> Any:
     """CycLedger on the round-overlap engine: semicommit-pipelined

@@ -82,6 +82,25 @@ class PerfSettings:
             raise ValueError(f"no valid referee size for n={n}, m={self.m}")
         return replace(self, n=n, referee_size=referee)
 
+    def scale_sized(self, n: int) -> "PerfSettings":
+        """Paper-mode scaling for the ``scale:`` family: the committee
+        *count* m grows with n so the committee *size* stays bounded
+        (c ≈ 30, the regime §VI sizes against), instead of ``scaled``'s
+        fixed-m regime where c — and the O(c²) consensus message count —
+        grows linearly with n.
+
+        The referee size is searched *upward* (any window of m consecutive
+        integers contains a value ≡ n (mod m)), so unlike ``scaled``'s
+        decrement-only search it can never fall below the protocol's
+        minimum of 3 at large m.
+        """
+        m = max(self.m, n // 32)
+        start = max(self.referee_size, 3)
+        referee = next(
+            r for r in range(start, start + m) if (n - r) % m == 0
+        )
+        return replace(self, n=n, m=m, referee_size=referee)
+
 
 @dataclass(frozen=True)
 class PerfCase:
@@ -98,14 +117,25 @@ class PerfCase:
 
     name: str
     description: str
-    category: str  # 'micro' | 'round'
+    category: str  # 'micro' | 'round' | 'scale'
     setup: Callable[[PerfSettings], Any]
     run: Callable[[Any], Any]
     ops: Callable[[PerfSettings], int]
     baseline: Callable[[Any], Any] | None = None
     baseline_setup: Callable[[PerfSettings], Any] | None = None  # defaults to setup
     check: Callable[[PerfSettings], None] | None = None
-    backend: str | None = None  # round cases: the backend they drive
+    backend: str | None = None  # round/scale cases: the backend they drive
+    #: ``scale:`` cases pin their own n-axis (the scalability curve); the
+    #: CLI ``--scales`` flag, when given, overrides it.
+    scales: tuple[int, ...] | None = None
+    #: Per-case ceiling on the n-axis: scales above it are skipped, so a
+    #: slow rival backend can ride the same curve without blowing the
+    #: bench budget.  ``None`` = uncapped.
+    max_scale: int | None = None
+    #: Per-case ceiling on measured repeats (scale cases: one n=4096
+    #: round costs what hundreds of n=48 rounds cost).  ``None`` = the
+    #: harness-level repeat count.
+    max_repeats: int | None = None
 
 
 #: name -> registered perf case.  The CLI and CI resolve cases by name.
@@ -402,17 +432,39 @@ def run_cases(
             known = ", ".join(sorted(PERF_REGISTRY))
             raise ValueError(f"unknown perf case {name!r} (known: {known})")
         resolved.append(case)
-    scale_list = list(scales) or [settings.n]
+    explicit_scales = list(scales)
+    scale_list = explicit_scales or [settings.n]
     calibration = calibrate()
     results: list[CaseResult] = []
     for case in resolved:
-        case_scales = scale_list if case.category == "round" else [settings.n]
+        if case.category == "round":
+            case_scales = scale_list
+        elif case.category == "scale":
+            # Scale cases carry their own curve axis; an explicit --scales
+            # overrides it (the CI smoke preset runs them tiny this way).
+            case_scales = explicit_scales or list(case.scales or scale_list)
+        else:
+            case_scales = [settings.n]
+        if case.max_scale is not None:
+            case_scales = [n for n in case_scales if n <= case.max_scale]
+        sized = (
+            settings.scale_sized if case.category == "scale" else settings.scaled
+        )
+        case_repeats = (
+            repeats
+            if case.max_repeats is None
+            else max(1, min(repeats, case.max_repeats))
+        )
+        # A scale-tier round is seconds long at the top of the curve;
+        # interpreter warmup buys nothing at that granularity and would
+        # double the budget, so the curve runs cold.
+        case_warmup = 0 if case.category == "scale" else warmup
         for n in case_scales:
             result = run_case(
                 case,
-                settings.scaled(n),
-                warmup=warmup,
-                repeats=repeats,
+                sized(n),
+                warmup=case_warmup,
+                repeats=case_repeats,
                 profile=profile,
                 top=top,
             )

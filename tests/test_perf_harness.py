@@ -239,6 +239,48 @@ def test_scaled_settings_keep_committee_invariant():
         assert (scaled.n - scaled.referee_size) % scaled.m == 0
 
 
+def test_scale_sized_settings_grow_m_with_bounded_committees():
+    base = PerfSettings(m=4, referee_size=8)
+    for n in (128, 256, 512, 1024, 2048, 4096):
+        sized = base.scale_sized(n)
+        assert (sized.n - sized.referee_size) % sized.m == 0
+        assert sized.referee_size >= 3
+        committee = (sized.n - sized.referee_size) // sized.m
+        # Paper-mode scaling: committee size stays bounded as n grows.
+        assert base.lam + 2 <= committee <= 40
+    assert base.scale_sized(4096).m > base.scale_sized(128).m
+    # Unlike scaled()'s decrement-only search, the upward referee search
+    # never underflows at large m (the n=512/m=16 failure mode).
+    assert base.scale_sized(512).referee_size >= 3
+
+
+def test_scale_registry_carries_curve_axis_and_caps():
+    from repro.perf.cases import SCALE_CAPS, SCALE_CURVE
+
+    names = perf_case_names("scale")
+    assert names == [
+        "scale:cycledger", "scale:omniledger_sim", "scale:rapidchain"
+    ]
+    for name in names:
+        case = PERF_REGISTRY[name]
+        assert case.category == "scale"
+        assert case.scales == SCALE_CURVE
+        assert case.max_scale == SCALE_CAPS[case.backend]
+        assert case.max_repeats == 2
+
+
+def test_scale_case_explicit_scales_override_and_caps_filter():
+    # Explicit --scales override the pinned curve (the CI smoke preset),
+    # max_scale filters out-of-cap entries, and max_repeats clamps the
+    # harness-level repeat count.
+    payload = run_cases(
+        ["scale:rapidchain"], SMOKE, scales=[24, 8192], warmup=0, repeats=5
+    )
+    rows = [(r["name"], r["n"]) for r in payload["cases"]]
+    assert rows == [("scale:rapidchain", 24)]  # 8192 > max_scale dropped
+    assert payload["cases"][0]["wall"]["repeats"] == 2  # clamped from 5
+
+
 def test_calibration_returns_positive_rates():
     calib = calibrate()
     assert calib["hash_1kib_ops_per_sec"] > 0

@@ -93,3 +93,51 @@ def test_bad_schema_rejected(tmp_path):
     bad.write_text(json.dumps({"schema": "other/9", "cases": []}))
     with pytest.raises(SystemExit, match="schema"):
         bench_diff.load_cases(str(bad))
+
+
+def test_missing_artifacts_require_write_baseline():
+    with pytest.raises(SystemExit):
+        bench_diff.main([])
+
+
+def test_write_baseline_merges_standard_and_curve_cases(
+    tmp_path, monkeypatch
+):
+    """--write-baseline runs micro/round under --scales and the scale:
+    family on its pinned curve, merging both into one sorted artifact."""
+    calls = []
+
+    def fake_run_cases(names, settings, scales=(), repeats=5, progress=None,
+                       **kwargs):
+        calls.append((tuple(names), tuple(scales), repeats))
+        return {
+            "schema": "repro-bench/1",
+            "version": "x",
+            "host": {},
+            "calibration": {"hash_1kib_ops_per_sec": 1.0},
+            "settings": {},
+            "cases": [
+                {"name": name, "n": 48, "wall": {"median_s": 0.01}}
+                for name in names
+            ],
+        }
+
+    import repro.perf as perf
+
+    monkeypatch.setattr(perf, "run_cases", fake_run_cases)
+    out = tmp_path / "BENCH_perf.json"
+    assert bench_diff.main(
+        ["--write-baseline", "--out", str(out), "--scales", "24",
+         "--repeats", "3"]
+    ) == 0
+    standard_call, curve_call = calls
+    assert all(
+        n.startswith(("micro:", "round:")) for n in standard_call[0]
+    ) and standard_call[1] == (24,) and standard_call[2] == 3
+    assert all(n.startswith("scale:") for n in curve_call[0])
+    assert curve_call[1] == ()  # pinned curve axis, no explicit scales
+    payload = json.loads(out.read_text())
+    names = [row["name"] for row in payload["cases"]]
+    assert names == sorted(names)
+    assert any(n.startswith("scale:") for n in names)
+    assert any(n.startswith("round:") for n in names)

@@ -14,15 +14,25 @@ rescales the old medians by the two artifacts' sha256 calibration ratio
 (see docs/perf.md) before comparing: a machine that is 2x slower overall
 then no longer reads as a 2x regression.
 
+``--write-baseline`` regenerates the committed baseline instead of
+diffing: it runs the full documented baseline protocol in-process —
+micro + round cases across ``--scales`` at ``--repeats`` repeats, plus
+the ``scale:`` family on its pinned n-axis (the scalability curve) —
+and writes the merged artifact to ``--out`` (default: the repo-root
+``BENCH_perf.json``).  This path imports :mod:`repro.perf`, so run it
+from the repo root (``src/`` is added to ``sys.path`` automatically).
+
 Usage:
     python tools/bench_diff.py OLD.json NEW.json [--fail-over 20]
         [--normalize] [--cases round:cycledger,micro:mac_sign]
+    python tools/bench_diff.py --write-baseline [--out BENCH_perf.json]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -55,12 +65,56 @@ def calibration_ratio(old_path: str, new_path: str) -> float:
     return new_hash / old_hash
 
 
+def write_baseline(out: str, scales: list[int], repeats: int) -> int:
+    """Regenerate the committed baseline artifact in place.
+
+    Micro + round cases run under the documented baseline protocol
+    (``--scales``/``--repeats``); the ``scale:`` family then rides its own
+    pinned curve axis (n=128→4096, per-case caps and repeat clamps apply)
+    and the two case lists merge into one artifact.
+    """
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    sys.path.insert(0, os.path.join(repo_root, "src"))
+    from repro.perf import PERF_REGISTRY, PerfSettings, run_cases, write_bench
+
+    def progress(result) -> None:
+        print(
+            f"{result.case.name:<22} n={result.settings.n:<5} "
+            f"median {result.wall.median * 1e3:9.2f} ms",
+            flush=True,
+        )
+
+    settings = PerfSettings()
+    standard = [
+        name
+        for name, case in sorted(PERF_REGISTRY.items())
+        if case.category in ("micro", "round")
+    ]
+    curve = [
+        name
+        for name, case in sorted(PERF_REGISTRY.items())
+        if case.category == "scale"
+    ]
+    payload = run_cases(
+        standard, settings, scales=scales, repeats=repeats, progress=progress
+    )
+    # No explicit scales: each scale case uses its pinned curve axis.
+    curve_payload = run_cases(curve, settings, progress=progress)
+    payload["cases"] = sorted(
+        payload["cases"] + curve_payload["cases"],
+        key=lambda row: (row["name"], row["n"]),
+    )
+    write_bench(out, payload)
+    print(f"baseline -> {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="diff two BENCH_perf.json artifacts (median wall time)"
     )
-    parser.add_argument("old", help="baseline BENCH_perf.json")
-    parser.add_argument("new", help="candidate BENCH_perf.json")
+    parser.add_argument("old", nargs="?", help="baseline BENCH_perf.json")
+    parser.add_argument("new", nargs="?", help="candidate BENCH_perf.json")
     parser.add_argument(
         "--fail-over",
         type=float,
@@ -79,7 +133,41 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="comma-separated case-name filter (default: all shared cases)",
     )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the committed baseline (micro+round at --scales/"
+        "--repeats, scale: family on its pinned curve) instead of diffing",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="baseline output path for --write-baseline "
+        "(default: repo-root BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--scales",
+        default="24,48,96",
+        help="--write-baseline: n-axis for the round cases",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=7,
+        help="--write-baseline: measured repeats for micro/round cases",
+    )
     args = parser.parse_args(argv)
+
+    if args.write_baseline:
+        out = args.out or os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_perf.json",
+        )
+        return write_baseline(
+            out, [int(s) for s in args.scales.split(",")], args.repeats
+        )
+    if not args.old or not args.new:
+        parser.error("OLD and NEW artifacts are required unless --write-baseline")
 
     old_cases = load_cases(args.old)
     new_cases = load_cases(args.new)
