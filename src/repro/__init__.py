@@ -29,7 +29,8 @@ IPDPS 2020, arXiv:2001.06778), including every substrate the paper assumes:
   per-point seeding and resume-from-cache;
 * :mod:`repro.scenarios` — declarative, seed-deterministic fault
   injection (partitions, latency spikes, leader crashes, adversary
-  ramps, churn) attached to the round's phase pipeline;
+  ramps, churn) attached to the round's phase pipeline, plus adaptive
+  adversary policies that retarget corruption from observed round state;
 * :mod:`repro.perf` — the perf-regression harness: named timing cases
   (micro A/B optimizations vs frozen baselines, end-to-end backend
   rounds), warmup/repeat protocol, cProfile hotspots, host calibration,
@@ -52,9 +53,9 @@ from repro.backends import BACKEND_REGISTRY, LedgerBackend, create_backend
 from repro.core.protocol import CycLedger, RoundReport, build_default_pipeline
 from repro.ledger.workload import TxMempool
 from repro.nodes.adversary import AdversaryConfig, AdversaryController
-from repro.scenarios import SCENARIO_PRESETS, Scenario
+from repro.scenarios import POLICY_PRESETS, SCENARIO_PRESETS, Scenario
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "BACKEND_REGISTRY",
@@ -65,6 +66,7 @@ __all__ = [
     "Phase",
     "PhasePipeline",
     "ProtocolParams",
+    "POLICY_PRESETS",
     "RoundReport",
     "SCENARIO_PRESETS",
     "Scenario",

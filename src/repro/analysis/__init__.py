@@ -21,8 +21,20 @@ from repro.analysis.complexity import (
     table2_rows,
 )
 from repro.analysis.incentive import g, reward_shares, expected_score
+from repro.analysis.invariants import (
+    INVARIANTS,
+    Invariant,
+    InvariantChecker,
+    InvariantViolation,
+    InvariantViolationError,
+)
 
 __all__ = [
+    "INVARIANTS",
+    "Invariant",
+    "InvariantChecker",
+    "InvariantViolation",
+    "InvariantViolationError",
     "committee_failure_exact",
     "committee_failure_kl_bound",
     "committee_failure_simple_bound",

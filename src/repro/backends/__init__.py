@@ -54,8 +54,9 @@ def register_backend(
 ) -> None:
     """Register an executable backend under ``name``.
 
-    ``factory(params, adversary=..., capacity_fn=..., scenario=...)`` must
-    return a :class:`~repro.backends.base.LedgerBackend`.
+    ``factory(params, adversary=..., capacity_fn=..., scenario=...,
+    policy=...)`` must return a
+    :class:`~repro.backends.base.LedgerBackend`.
     """
     if name in BACKEND_REGISTRY:
         raise ValueError(f"backend {name!r} is already registered")
@@ -75,6 +76,7 @@ def create_backend(
     adversary: Any = None,
     capacity_fn: Any = None,
     scenario: Any = None,
+    policy: Any = None,
 ) -> Any:
     """Instantiate the named backend; unknown names fail with the roster."""
     info = BACKEND_REGISTRY.get(name)
@@ -82,7 +84,11 @@ def create_backend(
         known = ", ".join(backend_names())
         raise ValueError(f"unknown backend {name!r} (known: {known})")
     return info.factory(
-        params, adversary=adversary, capacity_fn=capacity_fn, scenario=scenario
+        params,
+        adversary=adversary,
+        capacity_fn=capacity_fn,
+        scenario=scenario,
+        policy=policy,
     )
 
 

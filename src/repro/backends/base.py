@@ -48,6 +48,7 @@ from repro.net.topology import Channels, build_cycledger_topology
 from repro.nodes.adversary import AdversaryConfig, AdversaryController
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.scenarios.policies import AdversaryPolicy
     from repro.scenarios.scenario import Scenario
 
 #: Wire size charged per transaction in a list payload (bytes).
@@ -163,10 +164,20 @@ def init_shared_state(
     share workload/adversary/jitter streams (the seed-pairing contract) by
     construction, not by keeping two constructors in sync.
 
-    Returns the scenario sub-stream for :func:`attach_pipeline`.
+    Returns the scenario and policy sub-streams for :func:`attach_pipeline`.
+    SeedSequence children depend only on their spawn index, so growing the
+    fan-out (the policy stream is child 5) leaves every earlier stream
+    byte-identical.
     """
     root_ss = np.random.SeedSequence(params.seed)
-    proto_ss, workload_ss, adversary_ss, net_ss, scenario_ss = root_ss.spawn(5)
+    (
+        proto_ss,
+        workload_ss,
+        adversary_ss,
+        net_ss,
+        scenario_ss,
+        policy_ss,
+    ) = root_ss.spawn(6)
     ledger.rng = np.random.default_rng(proto_ss)
     ledger.net_rng = np.random.default_rng(net_ss)
     ledger.pki = PKI()
@@ -224,7 +235,7 @@ def init_shared_state(
     )
     ledger.rewards = {}
     ledger.round_number = 1
-    return scenario_ss
+    return scenario_ss, policy_ss
 
 
 def attach_pipeline(
@@ -233,22 +244,36 @@ def attach_pipeline(
     scenario: "Scenario | None",
     scenario_ss: np.random.SeedSequence,
     default_factory: Callable[[], PhasePipeline],
+    policy: "AdversaryPolicy | None" = None,
+    policy_ss: np.random.SeedSequence | None = None,
 ) -> None:
-    """Bind a pipeline (given or freshly built) and optional scenario to a
-    ledger, enforcing the sharing rules every backend must obey."""
+    """Bind a pipeline (given or freshly built) plus optional scenario and
+    adversary policy to a ledger, enforcing the sharing rules every backend
+    must obey."""
     if pipeline is not None:
-        # Scenario hooks fire on *every* ledger that runs the pipeline, so
-        # a pipeline may never be shared between a scenario-bearing ledger
-        # and any other — in either construction order.
+        # Scenario/policy hooks fire on *every* ledger that runs the
+        # pipeline, so a pipeline may never be shared between a
+        # scenario- or policy-bearing ledger and any other — in either
+        # construction order.
         if pipeline.scenario_driver is not None:
             raise ValueError(
                 "pipeline is already bound to a scenario-bearing "
+                "ledger; build a fresh pipeline per ledger"
+            )
+        if pipeline.policy_driver is not None:
+            raise ValueError(
+                "pipeline is already bound to a policy-bearing "
                 "ledger; build a fresh pipeline per ledger"
             )
         if scenario is not None and pipeline.owner is not None:
             raise ValueError(
                 "pipeline is already in use by another ledger; a "
                 "scenario needs a dedicated pipeline"
+            )
+        if policy is not None and pipeline.owner is not None:
+            raise ValueError(
+                "pipeline is already in use by another ledger; an "
+                "adversary policy needs a dedicated pipeline"
             )
     ledger.pipeline = pipeline if pipeline is not None else default_factory()
     if ledger.pipeline.owner is None:
@@ -271,6 +296,16 @@ def attach_pipeline(
             scenario, np.random.default_rng(scenario_ss)
         )
         ledger.scenario_driver.install(ledger)
+    ledger.policy = policy
+    ledger.policy_driver = None
+    if policy is not None:
+        # Local import, same layering rule as the scenario driver above.
+        from repro.scenarios.policies import PolicyDriver
+
+        ledger.policy_driver = PolicyDriver(
+            policy, np.random.default_rng(policy_ss)
+        )
+        ledger.policy_driver.install(ledger)
 
 
 class CommitteeSimBackend:
@@ -302,15 +337,26 @@ class CommitteeSimBackend:
         capacity_fn: Callable[[int, np.random.Generator], int] | None = None,
         scenario: "Scenario | None" = None,
         pipeline: PhasePipeline | None = None,
+        policy: "AdversaryPolicy | None" = None,
     ) -> None:
         self.params = params
-        scenario_ss = init_shared_state(self, params, adversary, capacity_fn)
+        scenario_ss, policy_ss = init_shared_state(
+            self, params, adversary, capacity_fn
+        )
         # Rival protocols in Table I ship without incentives: reputation and
         # rewards exist (the result schema expects them) but never move.
         self.randomness = H("GENESIS_RANDOMNESS", self.backend_name, params.seed)
         self._stage_roles()
         self.reports: list[SimRoundReport] = []
-        attach_pipeline(self, pipeline, scenario, scenario_ss, self.build_pipeline)
+        attach_pipeline(
+            self,
+            pipeline,
+            scenario,
+            scenario_ss,
+            self.build_pipeline,
+            policy=policy,
+            policy_ss=policy_ss,
+        )
 
     # -- subclass hooks ------------------------------------------------------
     def build_pipeline(self) -> PhasePipeline:

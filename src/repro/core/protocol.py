@@ -48,6 +48,7 @@ from repro.net.topology import Channels, build_cycledger_topology
 from repro.nodes.adversary import AdversaryConfig
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.scenarios.policies import AdversaryPolicy
     from repro.scenarios.scenario import Scenario
 
 
@@ -201,6 +202,7 @@ class CycLedger:
         capacity_fn: Callable[[int, np.random.Generator], int] | None = None,
         scenario: "Scenario | None" = None,
         pipeline: PhasePipeline | None = None,
+        policy: "AdversaryPolicy | None" = None,
     ) -> None:
         # Local import: repro.backends.base builds on core modules and must
         # stay importable before this one finishes loading.
@@ -216,6 +218,14 @@ class CycLedger:
                 "shard_workers is incompatible with fault-injection "
                 "scenarios (faults act on the shared network fabric)"
             )
+        if params.shard_workers > 0 and policy is not None:
+            # Same fabric argument: policy behaviour overrides and eclipse
+            # partitions act on the shared network/node state.
+            raise ValueError(
+                "shard_workers is incompatible with adversary policies "
+                "(policies act on the shared network fabric and node "
+                "behaviours)"
+            )
         self._shard_executor = make_shard_executor(
             params.shard_workers, self.backend_name
         )
@@ -224,7 +234,9 @@ class CycLedger:
         # genesis staging — comes from the one shared constructor every
         # executable backend uses, so backend arms of a sweep point share
         # streams by construction (the seed-pairing contract).
-        scenario_ss = init_shared_state(self, params, adversary, capacity_fn)
+        scenario_ss, policy_ss = init_shared_state(
+            self, params, adversary, capacity_fn
+        )
         self.randomness = H("GENESIS_RANDOMNESS", params.seed)
         # Round 1 key roles: uniform lotteries over all nodes (no reputation
         # yet, so the leader rule degenerates to the hash rank too).
@@ -242,7 +254,13 @@ class CycLedger:
         )
         self.reports: list[RoundReport] = []
         attach_pipeline(
-            self, pipeline, scenario, scenario_ss, build_default_pipeline
+            self,
+            pipeline,
+            scenario,
+            scenario_ss,
+            build_default_pipeline,
+            policy=policy,
+            policy_ss=policy_ss,
         )
 
     # -- helpers ------------------------------------------------------------

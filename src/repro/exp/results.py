@@ -232,7 +232,7 @@ _CSV_TOTAL_COLUMNS = (
 
 def write_csv(path: str, results: Iterable[SweepResult]) -> None:
     """Flat one-row-per-point CSV (params as ``p_*``, adversary as ``a_*``;
-    the backend/scenario/capacity axes ride along so arms stay
+    the backend/scenario/policy/capacity axes ride along so arms stay
     distinguishable)."""
     results = sorted(results, key=lambda r: r.key)
     param_keys = sorted({k for r in results for k in r.point["params"]})
@@ -240,7 +240,15 @@ def write_csv(path: str, results: Iterable[SweepResult]) -> None:
         {k for r in results for k in (r.point["adversary"] or {})}
     )
     header = (
-        ["key", "seed", "derived_seed", "backend", "scenario", "capacity_preset"]
+        [
+            "key",
+            "seed",
+            "derived_seed",
+            "backend",
+            "scenario",
+            "policy",
+            "capacity_preset",
+        ]
         + [f"p_{k}" for k in param_keys]
         + [f"a_{k}" for k in adv_keys]
         + list(_CSV_TOTAL_COLUMNS)
@@ -257,6 +265,7 @@ def write_csv(path: str, results: Iterable[SweepResult]) -> None:
                 r.point["derived_seed"],
                 r.point.get("backend", "cycledger"),
                 r.point.get("scenario") or "",
+                r.point.get("policy") or "",
                 r.point.get("capacity_preset") or "",
             ]
             + [r.point["params"].get(k, "") for k in param_keys]

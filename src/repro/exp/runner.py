@@ -80,6 +80,7 @@ class SweepOutcome:
             merged["seed"] = point["seed"]
             merged["rounds"] = point["rounds"]
             merged["scenario"] = point.get("scenario")
+            merged["policy"] = point.get("policy")
             merged["backend"] = point.get("backend", "cycledger")
             if all(merged.get(k) == v for k, v in filters.items()):
                 out.append(result)
@@ -153,6 +154,7 @@ def run_point(point: SweepPoint) -> SweepResult:
     from repro.exp.presets import CAPACITY_PRESETS
     from repro.nodes.adversary import AdversaryConfig
     from repro.scenarios import SCENARIO_PRESETS
+    from repro.scenarios.policies import POLICY_PRESETS
 
     params = ProtocolParams(**dict(point.params), seed=point.derived_seed)
     adversary = (
@@ -168,12 +170,16 @@ def run_point(point: SweepPoint) -> SweepResult:
     scenario = (
         SCENARIO_PRESETS[point.scenario] if point.scenario is not None else None
     )
+    policy = (
+        POLICY_PRESETS[point.policy] if point.policy is not None else None
+    )
     ledger = create_backend(
         point.backend,
         params,
         adversary=adversary,
         capacity_fn=capacity_fn,
         scenario=scenario,
+        policy=policy,
     )
     reports = ledger.run(point.rounds)
     return collect_result(ledger, reports, point.descriptor(), point.key)
@@ -192,6 +198,7 @@ def _pool_worker(payload: str) -> str:
         scenario=desc["scenario"],
         backend=desc["backend"],
         derived_seed=desc["derived_seed"],
+        policy=desc.get("policy"),
     )
     start = time.perf_counter()
     result = run_point(point)

@@ -16,6 +16,7 @@ The controller owns the corrupted set and assigns behaviours:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -137,6 +138,32 @@ class AdversaryController:
         elif target < len(self._corruption_order):
             del self._corruption_order[target:]
         self.corrupted = set(self._corruption_order)
+        self.offline &= self.corrupted
+
+    def retarget_nodes(self, node_ids: Iterable[int]) -> None:
+        """Wholesale corruption replacement onto an explicit target list.
+
+        Strategic policies (:mod:`repro.scenarios.policies`) compute their
+        own targets from published round state, so unlike
+        :meth:`retarget_fraction` this draws nothing from the controller's
+        RNG stream — seed-paired arms with and without a policy keep
+        byte-identical randomness everywhere else.  Order is preserved
+        (first target = corrupted longest) and duplicates collapse; like
+        every retarget, the round-boundary call site preserves mild
+        adaptivity.
+        """
+        order: list[int] = []
+        seen: set[int] = set()
+        known = set(self.all_ids)
+        for node_id in node_ids:
+            node_id = int(node_id)
+            if node_id not in known:
+                raise ValueError(f"cannot corrupt unknown node id {node_id}")
+            if node_id not in seen:
+                seen.add(node_id)
+                order.append(node_id)
+        self._corruption_order = order
+        self.corrupted = set(order)
         self.offline &= self.corrupted
 
     # -- mild adaptivity ----------------------------------------------------

@@ -277,6 +277,31 @@ class OfflineNode(Behavior):
         return False
 
 
+class QuorumWithholder(Behavior):
+    """Withholds every form of participation: no echoes, Unknown votes, no
+    TXList proposal.
+
+    The building block of the quorum-boundary policy
+    (:class:`repro.scenarios.policies.QuorumWithholding`): a corrupted
+    member acts honest while its committee has slack and switches to this
+    behaviour exactly in rounds where the withheld votes are pivotal."""
+
+    name = "quorum_withholder"
+    is_malicious = True
+
+    def echoes(self, node):
+        return False
+
+    def proposes_txlist(self, node):
+        return False
+
+    def vote(self, node, txs, state, rng):
+        return np.zeros(len(txs), dtype=np.int8)
+
+    def vote_on_outputs(self, node, txs, rng):
+        return np.zeros(len(txs), dtype=np.int8)
+
+
 class FramingPartialMember(Behavior):
     """Partial-set member that accuses an honest leader with a fabricated
     witness (the attack Claim 4 rules out)."""
@@ -300,6 +325,7 @@ BEHAVIOR_REGISTRY: dict[str, type[Behavior]] = {
         ContraryVoter,
         RandomVoter,
         LazyVoter,
+        QuorumWithholder,
         OfflineNode,
         FramingPartialMember,
     )

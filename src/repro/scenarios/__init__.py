@@ -26,20 +26,42 @@ from repro.scenarios.events import (
     event_from_dict,
     event_to_dict,
 )
+from repro.scenarios.policies import (
+    POLICY_PRESETS,
+    POLICY_TYPES,
+    AdversaryPolicy,
+    LeaderboardCorruption,
+    PolicyDriver,
+    QuorumWithholding,
+    RefereeEclipse,
+    TargetedCensorship,
+    policy_from_dict,
+    policy_to_dict,
+)
 from repro.scenarios.presets import SCENARIO_PRESETS
 from repro.scenarios.scenario import Scenario, ScenarioDriver
 
 __all__ = [
     "EVENT_TYPES",
     "HALVES",
+    "POLICY_PRESETS",
+    "POLICY_TYPES",
+    "AdversaryPolicy",
     "AdversaryRamp",
     "Churn",
     "LatencySpike",
     "LeaderCrash",
+    "LeaderboardCorruption",
     "Partition",
+    "PolicyDriver",
+    "QuorumWithholding",
+    "RefereeEclipse",
     "SCENARIO_PRESETS",
     "Scenario",
     "ScenarioDriver",
+    "TargetedCensorship",
     "event_from_dict",
     "event_to_dict",
+    "policy_from_dict",
+    "policy_to_dict",
 ]

@@ -1,0 +1,431 @@
+"""Strategic, state-observing adversary policies.
+
+Scenario events (:mod:`repro.scenarios.events`) are *schedules*: they name
+rounds and targets up front.  Policies are *strategies*: each round the
+:class:`PolicyDriver` lets the active policy read the ledger's published
+state — the reputation leaderboard, the staged leaders, this round's
+committee rosters — and decide where to strike.  This is still the paper's
+mildly-adaptive adversary (§III-C): decisions use only state published by
+round ``r - 1`` and take effect at the round-``r`` boundary, never inside a
+round.
+
+Four policies ship:
+
+* :class:`LeaderboardCorruption` — re-aims the corruption budget at the
+  top of the reputation leaderboard (and the staged leaders) every round;
+* :class:`QuorumWithholding` — corrupted members act honest until the
+  round where their withheld votes are pivotal for a committee's quorum;
+* :class:`RefereeEclipse` — partitions the current referee committee away
+  from everyone else, following its rotating membership;
+* :class:`TargetedCensorship` — corrupts the staged leaders and has them
+  censor transactions (:class:`~repro.nodes.behaviors.CensoringLeader`).
+
+Policies are frozen dataclasses over an inclusive round window, serialise
+to canonical JSON like events (:func:`policy_to_dict` /
+:func:`policy_from_dict`), and attach to any registered backend through
+the same pipeline hooks the :class:`~repro.scenarios.scenario.ScenarioDriver`
+uses, so seed-paired sweeps gain a ``policy`` axis next to
+scenario/backend/overlap.
+
+Determinism: current policies compute targets from published round state
+with explicit tie-breaks and draw **nothing** from any RNG stream (the
+driver still owns a spawned sub-stream for future randomized policies), so
+a (seed, policy) pair replays exactly and the no-policy arm of a
+seed-paired sweep is byte-identical to a run without the axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any, ClassVar, Mapping
+
+import numpy as np
+
+from repro.core.pipeline import PRE
+from repro.nodes.behaviors import (
+    CensoringLeader,
+    HonestBehavior,
+    QuorumWithholder,
+)
+from repro.scenarios.events import WindowedEvent, _tuplify
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.structures import CommitteeSpec, RoundContext
+
+
+@dataclass(frozen=True)
+class AdversaryPolicy(WindowedEvent):
+    """Common shape of adversary policies: an inclusive round window plus
+    two optional decision hooks the :class:`PolicyDriver` calls.
+
+    ``corruption_targets`` runs at the round pre-hook (before role
+    assignment) and may return the node ids the corruption budget should
+    move to; ``apply`` runs at the first phase's pre-hook (after role
+    assignment and the per-round network reset) and may override behaviours
+    or install network cuts for this round.
+    """
+
+    def corruption_targets(self, ledger: Any) -> list[int] | None:
+        """Node ids to corrupt this round, or ``None`` to leave corruption
+        untouched.  Called only in active rounds."""
+        return None
+
+    def apply(self, ctx: "RoundContext", driver: "PolicyDriver") -> None:
+        """Committee-aware action for this round (behaviour overrides,
+        partitions).  Called only in active rounds."""
+
+
+def _leaderboard(ledger: Any) -> list[int]:
+    """Node ids ordered by published reputation, highest first, ties broken
+    by node id so the ranking is total and deterministic."""
+    ranked = sorted(
+        ledger.reputation.items(),
+        key=lambda item: (-item[1], ledger._node_id(item[0])),
+    )
+    return [ledger._node_id(pk) for pk, _rep in ranked]
+
+
+def _staged_leader_ids(ledger: Any) -> list[int]:
+    """Node ids of the leaders staged for the coming round (published in
+    the previous round's block, so fair game for a mildly-adaptive
+    adversary)."""
+    return [ledger._node_id(pk) for pk in ledger._next_leaders]
+
+
+@dataclass(frozen=True)
+class LeaderboardCorruption(AdversaryPolicy):
+    """Adaptive corruption that chases the reputation leaderboard.
+
+    Each active round the corruption budget (``budget_fraction`` of all
+    nodes) is re-aimed at the staged leaders (when ``include_leaders``)
+    followed by the highest-reputation remaining nodes.  Under CycLedger's
+    reputation-ranked leader selection this doubles as an attack on *next*
+    round's leadership, which is exactly why the paper's incentive layer
+    must keep honest reputation ahead of the adversary's.
+    """
+
+    kind: ClassVar[str] = "leaderboard_corruption"
+
+    budget_fraction: float = 0.25
+    include_leaders: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not (0.0 <= self.budget_fraction <= 1.0):
+            raise ValueError("budget_fraction must be in [0, 1]")
+
+    def corruption_targets(self, ledger: Any) -> list[int]:
+        """Staged leaders first (optional), then the leaderboard, truncated
+        to the corruption budget."""
+        budget = int(self.budget_fraction * len(ledger.nodes))
+        targets: list[int] = []
+        seen: set[int] = set()
+        pools = [_leaderboard(ledger)]
+        if self.include_leaders:
+            pools.insert(0, _staged_leader_ids(ledger))
+        for pool in pools:
+            for node_id in pool:
+                if node_id not in seen:
+                    seen.add(node_id)
+                    targets.append(node_id)
+        return targets[:budget]
+
+
+@dataclass(frozen=True)
+class QuorumWithholding(AdversaryPolicy):
+    """Sleeper agents that withhold votes exactly at quorum boundaries.
+
+    Corrupted nodes behave honestly ("sleepers") except in committees where
+    the withheld participation is *pivotal*: with ``c`` members and a
+    majority quorum of ``need = c // 2 + 1``, a committee is pivotal when
+    its honestly-acting online members alone miss the quorum but would
+    reach it with the corrupted members' help.  Only then do the corrupted
+    non-leader members switch to
+    :class:`~repro.nodes.behaviors.QuorumWithholder`, killing the round's
+    consensus while revealing nothing in committees with slack.
+
+    The majority rule is exact for CycLedger (Alg. 3) and RapidChain;
+    OmniLedger's BFT accept needs a > 2/3 supermajority, so there the
+    boundary test is conservative — the policy withholds in a subset of the
+    truly pivotal rounds (committees already below 2/3 fail without help).
+
+    With ``budget_fraction > 0`` the policy also re-aims corruption each
+    round at the highest-reputation nodes that are *not* staged leaders
+    (withholders must sit among the voters); with the default ``0.0`` it
+    drives whatever corruption the run's
+    :class:`~repro.nodes.adversary.AdversaryConfig` provides.
+    """
+
+    kind: ClassVar[str] = "quorum_withholding"
+
+    budget_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not (0.0 <= self.budget_fraction <= 1.0):
+            raise ValueError("budget_fraction must be in [0, 1]")
+
+    def corruption_targets(self, ledger: Any) -> list[int] | None:
+        """Top-reputation non-leader nodes up to the budget (or ``None``
+        when the policy rides an externally configured adversary)."""
+        if self.budget_fraction == 0.0:
+            return None
+        budget = int(self.budget_fraction * len(ledger.nodes))
+        leaders = set(_staged_leader_ids(ledger))
+        ranked = [nid for nid in _leaderboard(ledger) if nid not in leaders]
+        return ranked[:budget]
+
+    @staticmethod
+    def _pivotal(
+        spec: "CommitteeSpec", ctx: "RoundContext", corrupted: set[int]
+    ) -> tuple[bool, list[int]]:
+        """Whether withholding flips this committee, and the members that
+        would withhold (corrupted, online, non-leader)."""
+        withholders = [
+            member
+            for member in spec.members
+            if member in corrupted
+            and member != spec.leader
+            and ctx.nodes[member].online
+        ]
+        reliable = sum(
+            1
+            for member in spec.members
+            if ctx.nodes[member].online
+            and (member not in corrupted or member == spec.leader)
+        )
+        need = len(spec.members) // 2 + 1
+        return reliable < need <= reliable + len(withholders), withholders
+
+    def apply(self, ctx: "RoundContext", driver: "PolicyDriver") -> None:
+        """Sleepers everywhere, withholders only where pivotal."""
+        corrupted = driver.adversary.corrupted
+        for node_id in corrupted:
+            ctx.nodes[node_id].behavior = HonestBehavior()
+        for spec in ctx.committees:
+            pivotal, withholders = self._pivotal(spec, ctx, corrupted)
+            if pivotal:
+                for member in withholders:
+                    ctx.nodes[member].behavior = QuorumWithholder()
+                driver.note(
+                    ctx.round_number,
+                    f"quorum withholding in committee {spec.index}: "
+                    f"{sorted(withholders)} go silent",
+                )
+
+
+@dataclass(frozen=True)
+class RefereeEclipse(AdversaryPolicy):
+    """Partition the referee committee away from the rest of the network.
+
+    The cut is recomputed from this round's actual referee membership, so
+    it follows the rotating lottery — an *adaptive* eclipse, unlike the
+    static node groups of a scenario :class:`~repro.scenarios.events.Partition`.
+    Per-round network resets heal the cut automatically once the window
+    closes.
+    """
+
+    kind: ClassVar[str] = "referee_eclipse"
+
+    def apply(self, ctx: "RoundContext", driver: "PolicyDriver") -> None:
+        """Isolate this round's referee members in their own partition."""
+        referee = set(ctx.referee)
+        ctx.net.set_partitions([referee])
+        driver.note(
+            ctx.round_number, f"eclipse referee committee {sorted(referee)}"
+        )
+
+
+@dataclass(frozen=True)
+class TargetedCensorship(AdversaryPolicy):
+    """Corrupt the staged leaders and have them censor transactions.
+
+    Each active round the corruption budget moves onto the staged leaders
+    (plus leaderboard fill-up), and every corrupted node that actually
+    leads a committee runs
+    :class:`~repro.nodes.behaviors.CensoringLeader` keeping only
+    ``keep_fraction`` of the majority-Yes transactions.  CycLedger commits
+    the censored remainder and leaves a provable trail; the rival backends
+    model any malicious leader as a dead committee, so the same policy is
+    strictly harsher there.
+    """
+
+    kind: ClassVar[str] = "censorship"
+
+    keep_fraction: float = 0.25
+    budget_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not (0.0 <= self.keep_fraction <= 1.0):
+            raise ValueError("keep_fraction must be in [0, 1]")
+        if not (0.0 <= self.budget_fraction <= 1.0):
+            raise ValueError("budget_fraction must be in [0, 1]")
+
+    def corruption_targets(self, ledger: Any) -> list[int]:
+        """Staged leaders, then leaderboard fill-up, within budget."""
+        budget = int(self.budget_fraction * len(ledger.nodes))
+        targets: list[int] = []
+        seen: set[int] = set()
+        for pool in (_staged_leader_ids(ledger), _leaderboard(ledger)):
+            for node_id in pool:
+                if node_id not in seen:
+                    seen.add(node_id)
+                    targets.append(node_id)
+        return targets[:budget]
+
+    def apply(self, ctx: "RoundContext", driver: "PolicyDriver") -> None:
+        """Corrupted committee leaders censor; other corrupted nodes keep
+        their configured strategies."""
+        censoring = []
+        for spec in ctx.committees:
+            if spec.leader in driver.adversary.corrupted:
+                ctx.nodes[spec.leader].behavior = CensoringLeader(
+                    keep_fraction=self.keep_fraction
+                )
+                censoring.append(spec.index)
+        if censoring:
+            driver.note(
+                ctx.round_number,
+                f"censoring leaders in committees {censoring} "
+                f"(keep {self.keep_fraction:g})",
+            )
+
+
+POLICY_TYPES: dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        LeaderboardCorruption,
+        QuorumWithholding,
+        RefereeEclipse,
+        TargetedCensorship,
+    )
+}
+
+#: Named, ready-to-attach policy instances — the ``--policy`` /
+#: ``policy_grid`` vocabulary.  Windows start at round 2 so round 1 is
+#: byte-identical to the policy-free arm, and end before typical sweep
+#: horizons' last round only where the healed tail is the point
+#: (referee-eclipse).
+POLICY_PRESETS: dict[str, AdversaryPolicy] = {
+    "adaptive-corruption": LeaderboardCorruption(
+        start_round=2, end_round=6, budget_fraction=0.25
+    ),
+    "quorum-withholding": QuorumWithholding(
+        start_round=2, end_round=6, budget_fraction=0.3
+    ),
+    "referee-eclipse": RefereeEclipse(start_round=2, end_round=3),
+    "censorship": TargetedCensorship(
+        start_round=2, end_round=6, keep_fraction=0.25, budget_fraction=0.25
+    ),
+}
+
+
+def policy_to_dict(policy: Any) -> dict[str, Any]:
+    """JSON-ready rendering of one policy (kind tag plus its fields)."""
+    if type(policy) not in POLICY_TYPES.values():
+        raise TypeError(f"not an adversary policy: {policy!r}")
+    return {"kind": policy.kind, **asdict(policy)}
+
+
+def policy_from_dict(data: Mapping[str, Any]) -> AdversaryPolicy:
+    """Rebuild a policy from :func:`policy_to_dict` output (JSON
+    round-trip)."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    cls = POLICY_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown policy kind {kind!r}")
+    return cls(**{key: _tuplify(value) for key, value in payload.items()})
+
+
+class PolicyDriver:
+    """Applies one :class:`AdversaryPolicy` to one running ledger via its
+    phase pipeline's hooks (mirror of
+    :class:`~repro.scenarios.scenario.ScenarioDriver`, which owns scheduled
+    faults; the two compose on one ledger)."""
+
+    def __init__(
+        self, policy: AdversaryPolicy, rng: np.random.Generator
+    ) -> None:
+        self.policy = policy
+        #: Own spawned RNG sub-stream.  Shipped policies are fully
+        #: deterministic and never draw from it, but the stream is reserved
+        #: so a future randomized policy cannot perturb protocol streams.
+        self.rng = rng
+        #: Human-readable record of every applied action, each line stamped
+        #: with the continuous cross-round sim clock (``Network.global_now``)
+        #: like the scenario driver's fault events.
+        self.log: list[str] = []
+        self._net = None
+        self._ledger = None
+        self._baseline: list[int] | None = None
+        self._healed = False
+
+    def _stamp(self, line: str) -> str:
+        """Prefix a log line with the continuous sim-clock timestamp."""
+        if self._net is None:
+            return line
+        return f"t={self._net.global_now:.1f} {line}"
+
+    def note(self, round_number: int, line: str) -> None:
+        """Record one applied policy action (timestamped)."""
+        self.log.append(self._stamp(f"r{round_number}: {line}"))
+
+    @property
+    def adversary(self) -> Any:
+        """The bound ledger's adversary controller."""
+        return self._ledger.adversary
+
+    # -- wiring ------------------------------------------------------------
+    def install(self, ledger: Any) -> None:
+        """Attach this driver's policy hooks to ``ledger``'s pipeline (a
+        pipeline accepts at most one policy driver)."""
+        pipeline = ledger.pipeline
+        if pipeline.policy_driver is not None:
+            # Hooks are append-only: a second driver would re-aim the same
+            # corruption budget twice per round with order-dependent
+            # results.
+            raise ValueError(
+                "pipeline already has a policy driver installed; give "
+                "each policy-bearing ledger its own pipeline"
+            )
+        self._ledger = ledger
+        self._net = ledger.net
+        pipeline.policy_driver = self
+        pipeline.add_round_hook(PRE, self._on_round_start)
+        pipeline.add_phase_hook(pipeline.names[0], PRE, self._on_config_pre)
+
+    # -- round boundary: corruption re-aiming --------------------------------
+    def _on_round_start(self, ledger: Any) -> None:
+        round_number = ledger.round_number
+        policy = self.policy
+        if policy.active(round_number):
+            targets = policy.corruption_targets(ledger)
+            if targets is not None:
+                if self._baseline is None:
+                    # First strike: remember the configured corruption so
+                    # the window's close restores it (the heal round).
+                    self._baseline = list(ledger.adversary._corruption_order)
+                ledger.adversary.retarget_nodes(targets)
+                self.note(
+                    round_number,
+                    f"{policy.kind} corrupts {sorted(targets)}",
+                )
+        elif (
+            round_number > policy.last_active_round
+            and self._baseline is not None
+            and not self._healed
+        ):
+            ledger.adversary.retarget_nodes(self._baseline)
+            self._healed = True
+            self.note(
+                round_number,
+                f"{policy.kind} window closed; corruption restored to "
+                f"{sorted(self._baseline)}",
+            )
+
+    # -- first phase: committee-aware actions --------------------------------
+    def _on_config_pre(self, ctx: "RoundContext", phase_name: str) -> None:
+        if self.policy.active(ctx.round_number):
+            self.policy.apply(ctx, self)

@@ -1,11 +1,21 @@
-"""Shared fixtures."""
+"""Shared fixtures and hypothesis settings profiles."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.crypto.pki import PKI
+
+# CI runs the suites reproducibly (no deadline flakes, no random example
+# churn between runs); local development keeps hypothesis' default
+# randomized exploration.  Select with HYPOTHESIS_PROFILE=ci.
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev")
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

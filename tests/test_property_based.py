@@ -9,8 +9,14 @@ from repro.analysis.security import (
     committee_failure_kl_bound,
     union_bound,
 )
-from repro.core.reputation import cosine_scores, distribute_rewards, g
+from repro.core.reputation import (
+    ReputationStore,
+    cosine_scores,
+    distribute_rewards,
+    g,
+)
 from repro.crypto.field import FIELD
+from repro.ledger.workload import TxMempool, WorkloadGenerator
 from repro.crypto.hashing import H, canonical_bytes
 from repro.crypto.pvss import deal, feldman_check, reconstruct
 from repro.ledger.transaction import Transaction, TxInput, TxOutput
@@ -204,3 +210,89 @@ def test_union_bound_properties(p, count):
     result = float(union_bound(p, count))
     assert 0.0 <= result <= 1.0
     assert result >= min(p, 1.0) - 1e-12
+
+
+# -- mempool conservation ---------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1.0),  # fraction packed
+            st.integers(min_value=0, max_value=4),  # max_age perturbation
+            st.integers(min_value=0, max_value=30),  # capacity perturbation
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_mempool_conservation_identity(seed, rounds):
+    """Under arbitrary packing and TTL/capacity perturbations, every
+    admitted transaction is accounted for exactly once:
+    admitted == packed + queued + evicted (the checker's
+    mempool-conservation invariant, exercised directly)."""
+    generator = WorkloadGenerator(
+        m=2, users_per_shard=16, rng=np.random.default_rng(seed)
+    )
+    mempool = TxMempool(
+        generator, process="poisson", rate=12.0, capacity=0, max_age_rounds=0
+    )
+    packed_total = 0
+    for round_number, (fraction, max_age, capacity) in enumerate(rounds, 1):
+        mempool.max_age_rounds = max_age
+        mempool.capacity = capacity
+        now = float(round_number) * 10.0
+        mempool.admit(
+            round_number, now, 0, cross_shard_ratio=0.25, invalid_ratio=0.1
+        )
+        queued = [e.tagged.tx.txid for e in mempool.queue]
+        packed = set(queued[: int(fraction * len(queued))])
+        mempool.settle(packed, round_number, now + 5.0)
+        packed_total += len(packed)
+        assert (
+            mempool.total_admitted
+            == packed_total + mempool.depth + mempool.total_evicted
+        )
+
+
+# -- ReputationStore ≡ plain dict -------------------------------------------------
+
+
+rep_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["set", "add", "get", "add_scores"]),
+        st.integers(min_value=0, max_value=11),  # pk index (8 seeded + growth)
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+    ),
+    max_size=30,
+)
+
+
+@given(rep_ops)
+@settings(max_examples=100, deadline=None)
+def test_reputation_store_matches_dict_model(ops):
+    """The array-backed store behaves exactly like the plain dict it
+    replaced, under arbitrary set/add/get interleavings including growth
+    past the seeded population."""
+    pks = [f"pk{i}" for i in range(12)]
+    store = ReputationStore(pks[:8])
+    model = {pk: 0.0 for pk in pks[:8]}
+    for op, index, value in ops:
+        pk = pks[index]
+        if op == "set":
+            store[pk] = value
+            model[pk] = value
+        elif op == "add" and pk in model:
+            store[pk] = store[pk] + value
+            model[pk] = model[pk] + value
+        elif op == "get":
+            assert store.get(pk, -1.0) == model.get(pk, -1.0)
+        elif op == "add_scores" and pk in model:
+            store.add_scores([(pk, value)])
+            model[pk] += value
+    assert dict(store.items()) == model
+    assert store.keys() == list(model.keys())
+    assert len(store) == len(model)
+    assert store == model

@@ -50,9 +50,10 @@ def test_ramp_interpolates_and_clamps():
     assert ramp.fraction_at(4) == pytest.approx(0.3)
 
 
-def test_scenario_json_round_trip():
-    for scenario in SCENARIO_PRESETS.values():
-        assert Scenario.from_dict(scenario.to_dict()) == scenario
+@pytest.mark.parametrize("name", sorted(SCENARIO_PRESETS))
+def test_scenario_json_round_trip(name):
+    scenario = SCENARIO_PRESETS[name]
+    assert Scenario.from_dict(scenario.to_dict()) == scenario
 
 
 def test_last_event_round():
