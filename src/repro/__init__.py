@@ -9,7 +9,9 @@ IPDPS 2020, arXiv:2001.06778), including every substrate the paper assumes:
 * :mod:`repro.net` — discrete-event network simulator with the paper's
   Δ/Γ/partial-synchrony channel classes and strict topology enforcement;
 * :mod:`repro.ledger` — UTXO transactions, the authentication function V,
-  shard states, blocks/chain, and a synthetic workload generator;
+  shard states, blocks/chain (with an optional body-pruning retention
+  window), a synthetic workload generator, and deterministic
+  checkpoint/resume of whole running ledgers;
 * :mod:`repro.core` — the protocol itself: sortition, committee
   configuration, inside-committee consensus (Alg. 3), semi-commitment
   exchange, intra-/inter-committee consensus, reputation + rewards, leader
@@ -51,17 +53,25 @@ from repro.core.config import ProtocolParams
 from repro.core.pipeline import OverlapScheduler, Phase, PhasePipeline
 from repro.backends import BACKEND_REGISTRY, LedgerBackend, create_backend
 from repro.core.protocol import CycLedger, RoundReport, build_default_pipeline
+from repro.ledger.checkpoint import (
+    load_checkpoint,
+    restore_checkpoint,
+    save_checkpoint,
+)
 from repro.ledger.workload import TxMempool
 from repro.nodes.adversary import AdversaryConfig, AdversaryController
 from repro.scenarios import POLICY_PRESETS, SCENARIO_PRESETS, Scenario
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "BACKEND_REGISTRY",
     "CycLedger",
     "LedgerBackend",
     "create_backend",
+    "load_checkpoint",
+    "restore_checkpoint",
+    "save_checkpoint",
     "OverlapScheduler",
     "Phase",
     "PhasePipeline",

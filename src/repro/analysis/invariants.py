@@ -42,6 +42,7 @@ without a checker) fails a test.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -154,6 +155,10 @@ class _RoundSnapshot:
     blocks_seen: int = 0
     last_round: int = 0
     queue_depth: int = 0
+    # Hash of the newest block already checked: the expected prev_hash of
+    # the next commit.  Carried explicitly (rather than re-read from the
+    # blocks list) so linkage checking survives chain body pruning.
+    last_hash: bytes = b"\x00" * 32
 
 
 class InvariantChecker:
@@ -170,15 +175,28 @@ class InvariantChecker:
     With ``raise_on_violation=False`` violations accumulate in
     :attr:`violations` instead (useful to census a deliberately faulty
     run).
+
+    ``spent_retention`` bounds the incremental spent-outpoint set to the
+    last N rounds' spends (a *compacted frontier*), keeping double-spend
+    detection O(window) in memory for epoch-scale soaks.  Double-spends of
+    outpoints older than the window escape detection — acceptable because
+    the workload's double-spend injector draws from a similarly bounded
+    history (``ProtocolParams.spent_retention``); 0 keeps the full history.
     """
 
-    def __init__(self, raise_on_violation: bool = True) -> None:
+    def __init__(
+        self, raise_on_violation: bool = True, spent_retention: int = 0
+    ) -> None:
         self.raise_on_violation = raise_on_violation
+        self.spent_retention = spent_retention
         self.violations: list[InvariantViolation] = []
         self.rounds_checked = 0
         self._ledger: Any = None
         self._snap = _RoundSnapshot()
         self._spent: set[tuple[bytes, int]] = set()
+        # (round_number, outpoints spent that round) — the compaction
+        # frontier when spent_retention > 0.
+        self._spent_window: deque[tuple[int, set[tuple[bytes, int]]]] = deque()
 
     # -- wiring ------------------------------------------------------------
     def install(self, ledger: Any) -> None:
@@ -234,15 +252,19 @@ class InvariantChecker:
 
     # -- safety checks -----------------------------------------------------
     def _check_chain(self, ledger: Any, round_number: int) -> None:
-        """chain-linkage + no-double-spend over this round's new blocks."""
-        blocks = ledger.chain.blocks
-        for block in blocks[self._snap.blocks_seen :]:
-            expected_prev = (
-                blocks[self._snap.blocks_seen - 1].hash
-                if self._snap.blocks_seen
-                else b"\x00" * 32
-            )
-            if block.prev_hash != expected_prev:
+        """chain-linkage + no-double-spend over this round's new blocks.
+
+        ``blocks_seen`` counts every block ever checked; under chain body
+        pruning the retained list is indexed with the pruned-prefix offset,
+        and the expected predecessor hash is carried in the snapshot (so
+        the boundary block of the retained suffix still links correctly).
+        """
+        chain = ledger.chain
+        blocks = chain.blocks
+        start = max(0, self._snap.blocks_seen - getattr(chain, "pruned_blocks", 0))
+        round_spent: set[tuple[bytes, int]] = set()
+        for block in blocks[start:]:
+            if block.prev_hash != self._snap.last_hash:
                 self._record(
                     "chain-linkage",
                     round_number,
@@ -258,6 +280,7 @@ class InvariantChecker:
                     f"round slot)",
                 )
             self._snap.last_round = block.round_number
+            self._snap.last_hash = block.hash
             self._snap.blocks_seen += 1
             in_block: set[tuple[bytes, int]] = set()
             for tx in block.transactions:
@@ -271,6 +294,13 @@ class InvariantChecker:
                         )
                     in_block.add(outpoint)
             self._spent |= in_block
+            round_spent |= in_block
+        if self.spent_retention:
+            self._spent_window.append((round_number, round_spent))
+            cutoff = round_number - self.spent_retention
+            while self._spent_window and self._spent_window[0][0] <= cutoff:
+                _, expired = self._spent_window.popleft()
+                self._spent -= expired
 
     def _check_utxo_conservation(self, ledger: Any, round_number: int) -> None:
         total = ledger.global_utxos.total_value()

@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.config import ProtocolParams
 from repro.core.node import CycNode
 from repro.core.pipeline import OverlapScheduler, PhasePipeline
+from repro.core.reporting import emit_round_report, rss_kb
 from repro.core.reputation import ReputationStore
 from repro.core.sortition import REFEREE_ROLE, crypto_sort, rank_select
 from repro.core.structures import CommitteeSpec, RoundContext
@@ -133,6 +134,13 @@ class SimRoundReport:
     tx_evicted: int = 0
     tx_age_mean: float = 0.0
     tx_age_max: float = 0.0
+    # Epoch-scale observability (ISSUE 10): process RSS sampled at report
+    # time (0 unless ProtocolParams.sample_rss — RSS is host-dependent and
+    # must not leak into byte-compared artifacts), and this report's 1-based
+    # sequence number in the run's emission stream (identical with or
+    # without a report sink attached).
+    rss_peak_kb: int = 0
+    reports_streamed: int = 0
 
 
 @dataclass
@@ -204,6 +212,7 @@ def init_shared_state(
         m=params.m,
         users_per_shard=params.users_per_shard,
         rng=np.random.default_rng(workload_ss),
+        spent_retention=params.spent_retention,
     )
     # The persistent transaction queue between the generator and the round
     # loop.  In the default legacy mode it is a byte-exact pass-through of
@@ -229,12 +238,18 @@ def init_shared_state(
     ledger.shard_states = [ShardState(k, params.m) for k in range(params.m)]
     for state in ledger.shard_states:
         state.add_genesis(ledger.workload.genesis_tx)
-    ledger.chain = Chain()
+    ledger.chain = Chain(retention=params.chain_retention)
     ledger.reputation = ReputationStore(
         node.pk for node in ledger.nodes.values()
     )
     ledger.rewards = {}
     ledger.round_number = 1
+    # Streaming report path (repro.core.reporting.emit_round_report): an
+    # optional per-report sink, an optional bound on the in-memory reports
+    # list (None = legacy unbounded), and the emission counter.
+    ledger.report_sink = None
+    ledger.report_retention = None
+    ledger.reports_streamed = 0
     return scenario_ss, policy_ss
 
 
@@ -523,10 +538,11 @@ class CommitteeSimBackend:
             tx_evicted=queue_stats.evicted,
             tx_age_mean=queue_stats.age_mean,
             tx_age_max=queue_stats.age_max,
+            rss_peak_kb=rss_kb() if params.sample_rss else 0,
         )
         self._decorate_report(report, ctx, phase_reports)
         self.metrics.merge(round_metrics)
-        self.reports.append(report)
+        emit_round_report(self, report)
 
         # Stage the next round: hash-chain randomness, fresh role lotteries.
         self.randomness = H(

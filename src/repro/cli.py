@@ -23,30 +23,63 @@ import numpy as np
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro import AdversaryConfig, CycLedger, ProtocolParams
 
-    try:
-        params = ProtocolParams(
-            n=args.n, m=args.m, lam=args.lam, referee_size=args.referee,
-            seed=args.seed, users_per_shard=args.users,
-            tx_per_committee=args.txs, cross_shard_ratio=args.cross,
-            invalid_ratio=args.invalid, overlap=args.overlap,
-            arrival_process=(
-                "poisson" if args.arrival_rate is not None else "legacy"
-            ),
-            arrival_rate=args.arrival_rate or 0.0,
-            mempool_capacity=args.mempool_cap,
-            mempool_max_age=args.mempool_age,
-            shard_workers=args.shard_workers,
+    if args.resume_from:
+        # The checkpoint pins ProtocolParams/AdversaryConfig; sizing and
+        # adversary flags are ignored so the resumed run is byte-identical
+        # to the uninterrupted one.
+        from repro.ledger.checkpoint import load_checkpoint
+
+        try:
+            ledger = load_checkpoint(args.resume_from)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"error: {error}")
+        params = ledger.params
+        print(f"resumed '{args.resume_from}' at round "
+              f"{ledger.round_number} (sizing flags ignored; the "
+              f"checkpoint pins the parameters)")
+    else:
+        try:
+            params = ProtocolParams(
+                n=args.n, m=args.m, lam=args.lam, referee_size=args.referee,
+                seed=args.seed, users_per_shard=args.users,
+                tx_per_committee=args.txs, cross_shard_ratio=args.cross,
+                invalid_ratio=args.invalid, overlap=args.overlap,
+                arrival_process=(
+                    "poisson" if args.arrival_rate is not None else "legacy"
+                ),
+                arrival_rate=args.arrival_rate or 0.0,
+                mempool_capacity=args.mempool_cap,
+                mempool_max_age=args.mempool_age,
+                shard_workers=args.shard_workers,
+                chain_retention=args.chain_retention,
+            )
+        except ValueError as error:
+            raise SystemExit(f"error: {error}")
+        adversary = AdversaryConfig(
+            fraction=args.adversary, leader_strategy=args.leader_strategy,
+            voter_strategy=args.voter_strategy,
         )
-    except ValueError as error:
-        raise SystemExit(f"error: {error}")
-    adversary = AdversaryConfig(
-        fraction=args.adversary, leader_strategy=args.leader_strategy,
-        voter_strategy=args.voter_strategy,
-    )
-    ledger = CycLedger(params, adversary=adversary)
+        ledger = CycLedger(params, adversary=adversary)
+    checkpoint_every = args.checkpoint_every
+    if checkpoint_every:
+        import os
+
+        from repro.ledger.checkpoint import save_checkpoint
+
+        os.makedirs(args.checkpoint_dir, exist_ok=True)
     print(f"{'round':>5} {'packed':>6} {'cross':>5} {'recov':>5} "
           f"{'msgs':>8} {'time':>7} {'queue':>5} {'evict':>5}")
-    reports = ledger.run(args.rounds)
+    reports = []
+    for _ in range(args.rounds):
+        report = ledger.run_round()
+        reports.append(report)
+        if checkpoint_every and report.round_number % checkpoint_every == 0:
+            path = os.path.join(
+                args.checkpoint_dir,
+                f"checkpoint-r{report.round_number:06d}.pkl",
+            )
+            save_checkpoint(ledger, path)
+            print(f"checkpoint -> {path}")
     for report in reports:
         print(f"{report.round_number:>5} {report.packed:>6} "
               f"{report.cross_packed:>5} {report.recoveries:>5} "
@@ -395,12 +428,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     f"error: unknown backend(s) {sorted(unknown)} "
                     f"(known: {sorted(known)})"
                 )
+        # Soak cases are thousands of rounds each; they never run by
+        # default — name them via --cases (the baseline-refresh tool and
+        # the soak-smoke CI job do).
         names = [
             name
             for name, case in sorted(PERF_REGISTRY.items())
-            if case.category == "micro"
-            or backends is None
-            or case.backend in backends
+            if case.category != "soak"
+            and (
+                case.category == "micro"
+                or backends is None
+                or case.backend in backends
+            )
         ]
     scales = [int(s) for s in args.scales.split(",")] if args.scales else []
     if args.smoke:
@@ -536,6 +575,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="shard-parallel committee execution: 0 = legacy "
                           "interleaved path, 1 = sharded-serial, >= 2 = "
                           "process pool (byte-identical to 1)")
+    run.add_argument("--chain-retention", type=int, default=0,
+                     help="retain only the last N block bodies, pruning "
+                          "older ones behind the hash-linked frontier "
+                          "(0 = keep everything)")
+    run.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                     help="save a resumable checkpoint every N rounds "
+                          "(0 = off)")
+    run.add_argument("--checkpoint-dir", default="checkpoints",
+                     help="directory for --checkpoint-every snapshots")
+    run.add_argument("--resume-from", default=None, metavar="PATH",
+                     help="resume from a saved checkpoint; runs --rounds "
+                          "further rounds, byte-identical to the "
+                          "uninterrupted run (sizing/adversary flags are "
+                          "ignored — the checkpoint pins them)")
     run.set_defaults(func=_cmd_run)
 
     scenario = sub.add_parser(
@@ -664,8 +717,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--list", action="store_true",
                        help="list registered perf cases")
     bench.add_argument("--cases", default=None,
-                       help="comma-separated case names (default: all micro "
-                            "cases plus round cases for --backends)")
+                       help="comma-separated case names (default: every "
+                            "registered case except soak:*, with round/"
+                            "scale cases filtered by --backends)")
     bench.add_argument("--backends", default=None,
                        help="comma-separated backends for round cases "
                             "(default: all registered)")

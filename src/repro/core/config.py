@@ -67,6 +67,21 @@ class ProtocolParams:
     # RNG streams differently and stays the default.
     shard_workers: int = 0
 
+    # Epoch-scale memory bounds (ISSUE 10).  ``chain_retention`` keeps only
+    # the last N block bodies in RAM (0 = keep everything); hash linkage
+    # survives pruning via the chain's stored predecessor hash, so head /
+    # verify / length semantics are unchanged.  ``spent_retention`` bounds
+    # the workload generator's spent-output history to the last N entries
+    # (0 = unbounded legacy history).  Bounding it changes which historical
+    # outputs the double-spend injector picks, so it is opt-in and runs
+    # using it are not byte-comparable to unbounded runs.  ``sample_rss``
+    # stamps each round report with the process RSS (rss_peak_kb); it is
+    # off by default because RSS is host-dependent and would break the
+    # byte-identity gates on sweep artifacts.
+    chain_retention: int = 0
+    spent_retention: int = 0
+    sample_rss: bool = False
+
     net: NetworkParams = field(default_factory=NetworkParams)
 
     def __post_init__(self) -> None:
@@ -107,6 +122,11 @@ class ProtocolParams:
             )
         if self.shard_workers < 0:
             raise ValueError("shard_workers must be >= 0")
+        if self.chain_retention < 0 or self.spent_retention < 0:
+            raise ValueError(
+                "chain_retention and spent_retention must be >= 0 "
+                "(0 = unbounded)"
+            )
         if self.committee_size < self.lam + 2:
             raise ValueError(
                 f"committee size {self.committee_size} cannot host a leader, "

@@ -31,6 +31,7 @@ from repro.core.config import ProtocolParams
 from repro.core.inter import InterReport, run_inter_consensus
 from repro.core.intra import IntraReport, run_intra_consensus
 from repro.core.pipeline import Phase, PhasePipeline
+from repro.core.reporting import emit_round_report, rss_kb
 from repro.core.reputation import ReputationReport, run_reputation_updating
 from repro.core.selection import SelectionReport, run_selection
 from repro.core.semicommit import SemiCommitReport, run_semi_commitment_exchange
@@ -141,6 +142,11 @@ class RoundReport:
     tx_evicted: int = 0
     tx_age_mean: float = 0.0
     tx_age_max: float = 0.0
+    # Epoch-scale observability (ISSUE 10): RSS sample (0 unless
+    # ProtocolParams.sample_rss) and this report's 1-based emission
+    # sequence number (stamped by repro.core.reporting.emit_round_report).
+    rss_peak_kb: int = 0
+    reports_streamed: int = 0
 
     # -- flat report contract (repro.backends.base.SimRoundReport) -----------
     # Every executable backend's reports expose these attributes, so the
@@ -424,9 +430,10 @@ class CycLedger:
             tx_evicted=queue_stats.evicted,
             tx_age_mean=queue_stats.age_mean,
             tx_age_max=queue_stats.age_max,
+            rss_peak_kb=rss_kb() if self.params.sample_rss else 0,
         )
         self.metrics.merge(round_metrics)
-        self.reports.append(report)
+        emit_round_report(self, report)
 
         # Stage the next round.
         self._next_referee = selection_report.next_referee

@@ -1,0 +1,56 @@
+"""Streaming round-report emission and RSS sampling (ISSUE 10).
+
+Long soaks cannot afford the legacy ``ledger.reports`` list: at 10k rounds
+the report objects (each holding phase reports and timings) dominate RSS.
+Every backend now routes its freshly-built round report through
+:func:`emit_round_report`, which
+
+* stamps the report's ``reports_streamed`` sequence number (identical
+  whether or not a sink is attached, so streamed and in-memory runs stay
+  byte-identical row-for-row);
+* forwards it to an optional ``ledger.report_sink`` callable (e.g.
+  :class:`repro.exp.results.JsonlReportWriter`) before retention trimming;
+* appends it to ``ledger.reports`` and trims that list to
+  ``ledger.report_retention`` entries when a bound is set (``None`` keeps
+  the legacy unbounded behaviour).
+
+``rss_kb`` reads ``VmRSS`` from ``/proc/self/status`` — unlike
+``ru_maxrss`` it is a *current* figure, so a soak can detect a plateau
+rather than a high-water mark.  On platforms without procfs it returns 0;
+callers treat 0 as "sampling unavailable".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def rss_kb() -> int:
+    """Current resident set size in KiB, or 0 when unavailable."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:  # pragma: no cover - non-Linux platforms
+        pass
+    return 0
+
+
+def emit_round_report(ledger: Any, report: Any) -> None:
+    """Publish one finished round report through the ledger's report path.
+
+    Must be called exactly once per round, after the report is fully
+    populated.  The sink sees the report *after* its sequence number is
+    stamped, so a JSONL stream carries the same rows a legacy in-memory
+    run would produce.
+    """
+    ledger.reports_streamed += 1
+    report.reports_streamed = ledger.reports_streamed
+    sink = ledger.report_sink
+    if sink is not None:
+        sink(report)
+    ledger.reports.append(report)
+    retention = ledger.report_retention
+    if retention is not None and len(ledger.reports) > retention:
+        del ledger.reports[: len(ledger.reports) - retention]

@@ -124,7 +124,99 @@ def round_row(report: "RoundReport") -> dict[str, Any]:
         "tx_evicted": report.tx_evicted,
         "tx_age_mean": report.tx_age_mean,
         "tx_age_max": report.tx_age_max,
+        # Epoch-scale observability: RSS sample (0 unless sample_rss — it
+        # is host-dependent and must stay out of byte-compared artifacts)
+        # and the report's emission sequence number.
+        "rss_peak_kb": report.rss_peak_kb,
+        "reports_streamed": report.reports_streamed,
     }
+
+
+class RoundAggregator:
+    """Single-pass totals accumulation over round rows.
+
+    The legacy aggregation path materialized every row and re-scanned the
+    list once per totals field; this accumulator folds each row as it
+    arrives, so a streaming soak computes totals in O(1) memory
+    (``keep_rows=False``) and :func:`collect_result` computes identical
+    totals in one pass.
+    """
+
+    def __init__(self, keep_rows: bool = True) -> None:
+        self._sums = {name: 0 for name in _SUMMED_ROUND_FIELDS}
+        self._sim_time = 0.0
+        self.rounds = 0
+        self.blocks = 0
+        self._last_row: Mapping[str, Any] | None = None
+        self._tx_age_max = 0.0
+        self._rss_peak = 0
+        self.rows: list[dict[str, Any]] | None = [] if keep_rows else None
+
+    def add(self, report: "RoundReport") -> dict[str, Any]:
+        """Fold one report; returns its flattened row."""
+        row = round_row(report)
+        self.add_row(row)
+        return row
+
+    def add_row(self, row: dict[str, Any]) -> None:
+        for name in _SUMMED_ROUND_FIELDS:
+            self._sums[name] += row[name]
+        self._sim_time += row["sim_time"]
+        self.rounds += 1
+        if row["block"] is not None:
+            self.blocks += 1
+        self._tx_age_max = max(self._tx_age_max, row["tx_age_max"])
+        self._rss_peak = max(self._rss_peak, row["rss_peak_kb"])
+        self._last_row = row
+        if self.rows is not None:
+            self.rows.append(row)
+
+    def totals(self) -> dict[str, Any]:
+        last = self._last_row
+        totals: dict[str, Any] = dict(self._sums)
+        totals["sim_time"] = self._sim_time
+        totals["rounds"] = self.rounds
+        totals["blocks"] = self.blocks
+        totals["reliable_channels"] = last["reliable_channels"] if last else 0
+        # End-to-end latency on the overlap-scheduled continuous timeline:
+        # at overlap=none this equals the summed sim_time exactly; at
+        # overlap=semicommit it is strictly lower (the pipelining gain).
+        totals["e2e_sim_time"] = last["timeline_end"] if last else 0.0
+        totals["queue_depth_final"] = last["queue_depth"] if last else 0
+        totals["tx_age_max"] = self._tx_age_max
+        totals["rss_peak_kb"] = self._rss_peak
+        totals["reports_streamed"] = last["reports_streamed"] if last else 0
+        return totals
+
+
+class JsonlReportWriter:
+    """Round-report sink writing one canonical JSON row per line.
+
+    Attach as ``ledger.report_sink`` (see
+    :func:`repro.core.reporting.emit_round_report`); the emitted stream is
+    row-for-row identical to what a legacy in-memory run would flatten,
+    so ``[json.loads(line) for line in file]`` equals
+    ``[round_row(r) for r in ledger.reports]`` of an unstreamed run.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.rows_written = 0
+        self._fh = open(path, "w", encoding="utf-8")
+
+    def __call__(self, report: "RoundReport") -> None:
+        self._fh.write(canonical_json(round_row(report)) + "\n")
+        self.rows_written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlReportWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 def collect_result(
@@ -134,20 +226,11 @@ def collect_result(
     key: str,
 ) -> SweepResult:
     """Distil a finished run into a :class:`SweepResult`."""
-    rows = tuple(round_row(r) for r in reports)
-    totals: dict[str, Any] = {
-        name: sum(row[name] for row in rows) for name in _SUMMED_ROUND_FIELDS
-    }
-    totals["sim_time"] = sum(row["sim_time"] for row in rows)
-    totals["rounds"] = len(rows)
-    totals["blocks"] = sum(1 for row in rows if row["block"] is not None)
-    totals["reliable_channels"] = rows[-1]["reliable_channels"] if rows else 0
-    # End-to-end latency on the overlap-scheduled continuous timeline: at
-    # overlap=none this equals the summed sim_time exactly; at
-    # overlap=semicommit it is strictly lower (the pipelining gain).
-    totals["e2e_sim_time"] = rows[-1]["timeline_end"] if rows else 0.0
-    totals["queue_depth_final"] = rows[-1]["queue_depth"] if rows else 0
-    totals["tx_age_max"] = max((row["tx_age_max"] for row in rows), default=0.0)
+    aggregator = RoundAggregator(keep_rows=True)
+    for report in reports:
+        aggregator.add(report)
+    rows = tuple(aggregator.rows or ())
+    totals = aggregator.totals()
     cells = {
         f"{phase}/{role}": {
             "messages": cell.messages,
@@ -227,6 +310,8 @@ _CSV_TOTAL_COLUMNS = (
     "tx_age_max",
     "blocks",
     "reliable_channels",
+    "rss_peak_kb",
+    "reports_streamed",
 )
 
 

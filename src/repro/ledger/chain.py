@@ -54,20 +54,55 @@ class Block:
 
 
 class Chain:
-    """Append-only chain with link validation."""
+    """Append-only chain with link validation and optional body pruning.
 
-    def __init__(self) -> None:
+    ``retention`` > 0 keeps only the last ``retention`` block bodies in
+    ``blocks`` (the *retained suffix*); older bodies are dropped after each
+    append.  Hash linkage survives pruning because the chain remembers the
+    hash and round number of the last pruned block, so ``append``,
+    ``verify``, ``head``, ``__len__`` and ``total_transactions`` all report
+    exactly what an unbounded chain would.  ``retention == 0`` keeps
+    everything (the historical behaviour).
+    """
+
+    def __init__(self, retention: int = 0) -> None:
+        if retention < 0:
+            raise ValueError("retention must be >= 0")
         self.blocks: list[Block] = []
+        self.retention = retention
+        self.pruned_blocks = 0  # bodies dropped from the front
+        self.pruned_transactions = 0  # txs inside those bodies
+        # Hash/round of the newest pruned block: the predecessor the
+        # retained suffix links to (genesis sentinel until pruning starts).
+        self.pruned_head_hash = GENESIS_PREV_HASH
+        self.pruned_last_round = 0
 
     def append(self, block: Block) -> None:
-        expected_prev = self.head.hash if self.blocks else GENESIS_PREV_HASH
+        expected_prev = (
+            self.blocks[-1].hash if self.blocks else self.pruned_head_hash
+        )
         if block.prev_hash != expected_prev:
             raise ValueError(
                 f"block r={block.round_number} does not extend the chain head"
             )
-        if self.blocks and block.round_number <= self.head.round_number:
+        last_round = (
+            self.blocks[-1].round_number
+            if self.blocks
+            else self.pruned_last_round
+        )
+        if len(self) and block.round_number <= last_round:
             raise ValueError("round numbers must increase")
         self.blocks.append(block)
+        if self.retention and len(self.blocks) > self.retention:
+            self._prune(len(self.blocks) - self.retention)
+
+    def _prune(self, count: int) -> None:
+        dropped = self.blocks[:count]
+        self.pruned_transactions += sum(len(b.transactions) for b in dropped)
+        self.pruned_blocks += count
+        self.pruned_head_hash = dropped[-1].hash
+        self.pruned_last_round = dropped[-1].round_number
+        del self.blocks[:count]
 
     @property
     def head(self) -> Block:
@@ -76,17 +111,24 @@ class Chain:
         return self.blocks[-1]
 
     def __len__(self) -> int:
-        return len(self.blocks)
+        return self.pruned_blocks + len(self.blocks)
 
     def __iter__(self):
+        """Iterate the *retained* suffix (all blocks when unpruned)."""
         return iter(self.blocks)
 
     def total_transactions(self) -> int:
-        return sum(len(b.transactions) for b in self.blocks)
+        return self.pruned_transactions + sum(
+            len(b.transactions) for b in self.blocks
+        )
 
     def verify(self) -> bool:
-        """Recheck every hash link (integration-test helper)."""
-        prev = GENESIS_PREV_HASH
+        """Recheck every retained hash link (integration-test helper).
+
+        Under pruning the walk starts from the stored predecessor hash of
+        the retained suffix instead of the genesis sentinel.
+        """
+        prev = self.pruned_head_hash
         for block in self.blocks:
             if block.prev_hash != prev:
                 return False

@@ -91,6 +91,16 @@ class UTXOSet:
     def restore(self, snapshot: dict[tuple[bytes, int], TxOutput]) -> None:
         self._utxos = dict(snapshot)
 
+    def compact(self) -> None:
+        """Rebuild the backing dict at its live size.
+
+        A long run churns millions of outpoints through the set; CPython
+        dicts never shrink their hash table after deletions, so a mostly-
+        drained set can pin the high-water capacity forever.  Rebuilding is
+        content-neutral: same keys, same values, same iteration order.
+        """
+        self._utxos = dict(self._utxos)
+
 
 def validate_transaction(tx: Transaction, utxos: UTXOSet) -> ValidationResult:
     """The authentication function V.

@@ -62,13 +62,21 @@ class WorkloadGenerator:
         rng: np.random.Generator,
         endowment: int = 1_000,
         fee: int = 1,
+        spent_retention: int = 0,
     ) -> None:
         if m <= 0 or users_per_shard <= 0:
             raise ValueError("m and users_per_shard must be positive")
+        if spent_retention < 0:
+            raise ValueError("spent_retention must be >= 0")
         self.m = m
         self.rng = rng
         self.fee = fee
         self.endowment = endowment
+        # Bound on the confirmed-spent history the double-spend injector
+        # draws from (0 = unbounded).  Trimming changes which historical
+        # outputs get re-spent, so bounded runs are NOT byte-comparable to
+        # unbounded ones — the bound is opt-in for long soaks only.
+        self.spent_retention = spent_retention
         self._nonce = 0
         # Legacy batches flush created outputs into the spendable pool at
         # batch end (every unpacked tx is rolled back the same round, so
@@ -275,6 +283,7 @@ class WorkloadGenerator:
             for shard, entry in self._pending:
                 self._spendable[shard].append(entry)
             self._spent.extend(self._spent_this_batch)
+            self._trim_spent()
         # Deferred mode publishes created outputs AND spent records only at
         # pack time (forget_txids): a double-spend injected against a
         # merely-queued transaction's input would in truth be valid on
@@ -331,6 +340,12 @@ class WorkloadGenerator:
                 # The input is now confirmed-spent: only from here may the
                 # double-spend injector reference it.
                 self._spent.append(effects[1])
+        self._trim_spent()
+
+    def _trim_spent(self) -> None:
+        bound = self.spent_retention
+        if bound and len(self._spent) > bound:
+            del self._spent[: len(self._spent) - bound]
 
     def confirm_round(self, packed_txids: set[bytes]) -> int:
         """Reconcile the generator's view with what the chain packed

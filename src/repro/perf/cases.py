@@ -1,6 +1,6 @@
 """The registered perf cases.
 
-Two families:
+Four families:
 
 * ``micro:*`` — A/B cases pitting an optimized hot path against its frozen
   baseline from :mod:`repro.perf.baselines`.  Each carries an equivalence
@@ -10,6 +10,11 @@ Two families:
   rounds (one per registry entry), timed across node scales by the CLI's
   ``--scales`` axis.  These are the regression tripwires: a slowdown that
   hides from every micro case still shows up here.
+* ``scale:*`` — the wall-clock-vs-n scalability curve under paper-mode
+  sizing (m grows with n, committee size bounded).
+* ``soak:*`` — long-horizon bounded-memory endurance runs: thousands of
+  poisson-fed rounds with chain pruning, spent-set compaction, and
+  streamed reports, gated on an RSS plateau (docs/perf.md).
 """
 
 from __future__ import annotations
@@ -472,6 +477,145 @@ register_perf_case(
         run=_round_run,
         ops=lambda s: 2 * s.m * s.tx_per_committee,
         backend="cycledger",
+    )
+)
+
+
+# -- soak: long-horizon bounded-memory endurance run ---------------------------
+#: Rounds per soak repeat in the committed artifact.  Long enough that an
+#: unbounded structure (report list, chain bodies, spent-set) would grow
+#: visibly past the warmup point, short enough for the bench budget; the
+#: 10k-round acceptance run uses the same state via ``soak_state``.
+SOAK_ROUNDS = 2000
+
+#: Round at which the RSS reference sample is taken.  The plateau gate
+#: asserts peak RSS after this point stays within ``SOAK_RSS_FACTOR`` of
+#: it — the memory-boundedness contract from docs/perf.md.
+SOAK_WARMUP_ROUND = 500
+SOAK_RSS_FACTOR = 1.5
+
+#: How often (in rounds) the soak loop samples RSS and compacts the
+#: ledger's UTXO dicts.
+SOAK_SAMPLE_EVERY = 50
+SOAK_COMPACT_EVERY = 500
+
+
+@dataclass
+class _SoakState:
+    """Mutable carrier threaded from soak setup through run to extras."""
+
+    ledger: Any
+    rounds: int
+    warmup_round: int
+    rss_warmup_kb: int = 0
+    rss_peak_kb: int = 0
+    rounds_done: int = 0
+
+
+def soak_state(settings: PerfSettings, rounds: int = SOAK_ROUNDS) -> _SoakState:
+    """A bounded-memory CycLedger soak deployment: poisson arrivals into a
+    persistent mempool, chain bodies pruned behind a retention window,
+    the workload's spent-history trimmed, round reports dropped after
+    emission, and RSS sampling on.  Tests and the 10k acceptance run
+    reuse this with their own round budgets."""
+    from repro.backends import create_backend
+    from repro.core.config import ProtocolParams
+
+    params = ProtocolParams(
+        n=settings.n,
+        m=settings.m,
+        lam=settings.lam,
+        referee_size=settings.referee_size,
+        seed=settings.seed,
+        users_per_shard=settings.users_per_shard,
+        tx_per_committee=settings.tx_per_committee,
+        cross_shard_ratio=settings.cross_shard_ratio,
+        invalid_ratio=settings.invalid_ratio,
+        arrival_process="poisson",
+        arrival_rate=float(2 * settings.m * settings.tx_per_committee),
+        mempool_max_age=4,
+        chain_retention=8,
+        spent_retention=4096,
+        sample_rss=True,
+    )
+    ledger = create_backend("cycledger", params)
+    ledger.report_retention = 1  # stream-and-drop; totals come from extras
+    return _SoakState(
+        ledger=ledger, rounds=rounds, warmup_round=SOAK_WARMUP_ROUND
+    )
+
+
+def _soak_setup(settings: PerfSettings) -> _SoakState:
+    return soak_state(settings)
+
+
+def run_soak(state: _SoakState) -> float:
+    """Drive the soak loop; returns accumulated simulated time.
+
+    Samples RSS every ``SOAK_SAMPLE_EVERY`` rounds, records the warmup
+    reference at ``state.warmup_round``, and asserts the plateau gate at
+    the end (skipped when RSS is unreadable, e.g. no procfs)."""
+    from repro.core.reporting import rss_kb
+    from repro.ledger.checkpoint import compact_ledger
+
+    ledger = state.ledger
+    sim_time = 0.0
+    for _ in range(state.rounds):
+        report = ledger.run_round()
+        sim_time += float(report.sim_time)
+        state.rounds_done += 1
+        done = state.rounds_done
+        if done % SOAK_COMPACT_EVERY == 0:
+            compact_ledger(ledger)
+        if done == state.warmup_round:
+            state.rss_warmup_kb = rss_kb()
+        elif done > state.warmup_round and done % SOAK_SAMPLE_EVERY == 0:
+            state.rss_peak_kb = max(state.rss_peak_kb, rss_kb())
+    state.rss_peak_kb = max(state.rss_peak_kb, rss_kb())
+    if state.rss_warmup_kb > 0 and state.rss_peak_kb > 0:
+        if state.rss_peak_kb > SOAK_RSS_FACTOR * state.rss_warmup_kb:
+            raise AssertionError(
+                "soak RSS plateau violated: peak "
+                f"{state.rss_peak_kb} KiB > {SOAK_RSS_FACTOR}x warmup "
+                f"{state.rss_warmup_kb} KiB at round {state.warmup_round}"
+            )
+    return sim_time
+
+
+def soak_extras(state: _SoakState) -> dict[str, Any]:
+    """The artifact row's ``soak`` block (see ``PerfCase.extras``)."""
+    warmup = state.rss_warmup_kb
+    return {
+        "rounds": state.rounds_done,
+        "rss_warmup_kb": warmup,
+        "rss_peak_kb": state.rss_peak_kb,
+        "plateau_ratio": (
+            state.rss_peak_kb / warmup if warmup > 0 else None
+        ),
+        "reports_streamed": state.ledger.reports_streamed,
+        "total_transactions": state.ledger.chain.total_transactions(),
+        "chain_retention": state.ledger.params.chain_retention,
+    }
+
+
+register_perf_case(
+    PerfCase(
+        name="soak:cycledger",
+        description=(
+            f"{SOAK_ROUNDS}-round bounded-memory CycLedger endurance run: "
+            "poisson mempool feed, chain-body pruning, spent-set "
+            "compaction, streamed round reports; asserts peak RSS stays "
+            f"within {SOAK_RSS_FACTOR}x the round-{SOAK_WARMUP_ROUND} "
+            "plateau"
+        ),
+        category="soak",
+        setup=_soak_setup,
+        run=run_soak,
+        ops=lambda s: SOAK_ROUNDS * 2 * s.m * s.tx_per_committee,
+        backend="cycledger",
+        scales=(64,),
+        max_repeats=1,
+        extras=soak_extras,
     )
 )
 

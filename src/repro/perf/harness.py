@@ -117,7 +117,7 @@ class PerfCase:
 
     name: str
     description: str
-    category: str  # 'micro' | 'round' | 'scale'
+    category: str  # 'micro' | 'round' | 'scale' | 'soak'
     setup: Callable[[PerfSettings], Any]
     run: Callable[[Any], Any]
     ops: Callable[[PerfSettings], int]
@@ -136,6 +136,12 @@ class PerfCase:
     #: round costs what hundreds of n=48 rounds cost).  ``None`` = the
     #: harness-level repeat count.
     max_repeats: int | None = None
+    #: ``soak:`` cases expose their long-horizon measurements (RSS
+    #: plateau, rounds, streamed-report count) here: called with the
+    #: case's post-run state, returns the artifact row's ``soak`` block.
+    #: ``None`` (every other category) renders as ``"soak": null``, so
+    #: per-row key sets stay uniform across the whole ``cases[]`` array.
+    extras: Callable[[Any], dict[str, Any] | None] | None = None
 
 
 #: name -> registered perf case.  The CLI and CI resolve cases by name.
@@ -330,6 +336,7 @@ class CaseResult:
     ops: int
     baseline_wall: TimingSummary | None
     hotspots: list[dict[str, Any]] = field(default_factory=list)
+    extras: dict[str, Any] | None = None  # soak block (None off-category)
 
     @property
     def ops_per_sec(self) -> float:
@@ -365,6 +372,7 @@ class CaseResult:
             ),
             "speedup": self.speedup,
             "hotspots": list(self.hotspots),
+            "soak": None if self.extras is None else dict(self.extras),
         }
 
 
@@ -406,6 +414,7 @@ def run_case(
         ops=case.ops(settings),
         baseline_wall=baseline_wall,
         hotspots=hotspots,
+        extras=case.extras(state) if case.extras is not None else None,
     )
 
 
@@ -439,8 +448,8 @@ def run_cases(
     for case in resolved:
         if case.category == "round":
             case_scales = scale_list
-        elif case.category == "scale":
-            # Scale cases carry their own curve axis; an explicit --scales
+        elif case.category in ("scale", "soak"):
+            # Scale/soak cases carry their own axis; an explicit --scales
             # overrides it (the CI smoke preset runs them tiny this way).
             case_scales = explicit_scales or list(case.scales or scale_list)
         else:
@@ -455,10 +464,11 @@ def run_cases(
             if case.max_repeats is None
             else max(1, min(repeats, case.max_repeats))
         )
-        # A scale-tier round is seconds long at the top of the curve;
-        # interpreter warmup buys nothing at that granularity and would
-        # double the budget, so the curve runs cold.
-        case_warmup = 0 if case.category == "scale" else warmup
+        # A scale-tier round is seconds long at the top of the curve (and
+        # one soak repeat is thousands of rounds); interpreter warmup buys
+        # nothing at that granularity and would double the budget, so
+        # those categories run cold.
+        case_warmup = 0 if case.category in ("scale", "soak") else warmup
         for n in case_scales:
             result = run_case(
                 case,

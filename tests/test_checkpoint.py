@@ -1,0 +1,192 @@
+"""Checkpoint/resume byte-identity (repro.ledger.checkpoint).
+
+The contract under test: a run resumed from a round-boundary checkpoint
+is byte-identical to the uninterrupted run — same chain head hash, same
+reputation table, same round-report stream — on every backend, including
+mid-scenario and mid-policy captures where driver state (crash windows,
+corruption baselines, spawned RNG positions) is live.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import BACKEND_REGISTRY, create_backend
+from repro.core.config import ProtocolParams
+from repro.exp.results import round_row
+from repro.exp.spec import canonical_json
+from repro.ledger.checkpoint import (
+    CHECKPOINT_VERSION,
+    capture_checkpoint,
+    load_checkpoint,
+    restore_checkpoint,
+    save_checkpoint,
+)
+from repro.nodes.adversary import AdversaryConfig
+from repro.scenarios import POLICY_PRESETS, SCENARIO_PRESETS
+
+
+def _params(**overrides) -> ProtocolParams:
+    base = dict(
+        n=24,
+        m=2,
+        lam=2,
+        referee_size=6,
+        seed=7,
+        users_per_shard=12,
+        tx_per_committee=4,
+    )
+    base.update(overrides)
+    return ProtocolParams(**base)
+
+
+def _rows(reports) -> list[str]:
+    return [canonical_json(round_row(r)) for r in reports]
+
+
+def _assert_same_tail(full, resumed, split: int) -> None:
+    """The resumed ledger's state and report stream must equal the
+    uninterrupted run's from round ``split`` on, byte for byte."""
+    assert resumed.chain.head.hash == full.chain.head.hash
+    assert list(resumed.reputation.items()) == list(full.reputation.items())
+    assert _rows(resumed.reports[-len(resumed.reports):]) == _rows(
+        full.reports[split:]
+    )
+
+
+@pytest.mark.parametrize("backend", sorted(BACKEND_REGISTRY))
+def test_roundtrip_byte_identity_all_backends(backend):
+    full = create_backend(backend, _params())
+    half = create_backend(backend, _params())
+    full.run(8)
+    half.run(4)
+    resumed = restore_checkpoint(capture_checkpoint(half))
+    resumed.run(4)
+    _assert_same_tail(full, resumed, split=4)
+
+
+def test_save_load_roundtrip(tmp_path):
+    path = str(tmp_path / "ck.pkl")
+    full = create_backend("cycledger", _params())
+    half = create_backend("cycledger", _params())
+    full.run(6)
+    half.run(3)
+    save_checkpoint(half, path)
+    resumed = load_checkpoint(path)
+    resumed.run(3)
+    _assert_same_tail(full, resumed, split=3)
+
+
+def test_capture_is_isolated_from_further_running():
+    """The snapshot must be a copy: the donor ledger keeps running after
+    capture without disturbing what was captured."""
+    full = create_backend("cycledger", _params())
+    half = create_backend("cycledger", _params())
+    full.run(6)
+    half.run(3)
+    state = capture_checkpoint(half)
+    half.run(3)  # mutate the donor after the capture
+    resumed = restore_checkpoint(state)
+    resumed.run(3)
+    _assert_same_tail(full, resumed, split=3)
+    assert half.chain.head.hash == full.chain.head.hash
+
+
+def test_mid_scenario_checkpoint(tmp_path):
+    """Capture inside a partition-halves fault window: the scenario
+    driver's crash bookkeeping and spawned RNG resume exactly."""
+    scenario = SCENARIO_PRESETS["partition-halves"]
+    kwargs = dict(adversary=AdversaryConfig(fraction=0.1), scenario=scenario)
+    split = max(2, scenario.last_event_round // 2)
+    rounds = scenario.last_event_round + 2
+    full = create_backend("cycledger", _params(), **kwargs)
+    half = create_backend("cycledger", _params(), **kwargs)
+    full.run(rounds)
+    half.run(split)
+    path = str(tmp_path / "scenario.pkl")
+    save_checkpoint(half, path)
+    resumed = load_checkpoint(path)
+    resumed.run(rounds - split)
+    _assert_same_tail(full, resumed, split=split)
+    assert resumed.scenario_driver.log == full.scenario_driver.log
+
+
+def test_mid_policy_checkpoint(tmp_path):
+    """Capture while an adaptive-corruption policy is mid-campaign: the
+    policy driver's baseline/healed state and RNG resume exactly."""
+    policy = POLICY_PRESETS["adaptive-corruption"]
+    kwargs = dict(adversary=AdversaryConfig(fraction=0.2), policy=policy)
+    split = max(2, policy.last_active_round // 2)
+    rounds = policy.last_active_round + 2
+    full = create_backend("cycledger", _params(), **kwargs)
+    half = create_backend("cycledger", _params(), **kwargs)
+    full.run(rounds)
+    half.run(split)
+    path = str(tmp_path / "policy.pkl")
+    save_checkpoint(half, path)
+    resumed = load_checkpoint(path)
+    resumed.run(rounds - split)
+    _assert_same_tail(full, resumed, split=split)
+    assert resumed.policy_driver.log == full.policy_driver.log
+    assert list(resumed.adversary.corrupted) == list(full.adversary.corrupted)
+
+
+def test_roundtrip_with_bounded_memory_knobs():
+    """Pruned chain + trimmed spent-history + poisson mempool all travel
+    through the checkpoint; the resumed bounded run matches the
+    uninterrupted bounded run."""
+    params = _params(
+        chain_retention=3,
+        spent_retention=64,
+        arrival_process="poisson",
+        arrival_rate=16.0,
+        mempool_max_age=4,
+    )
+    full = create_backend("cycledger", params)
+    half = create_backend("cycledger", params)
+    full.run(8)
+    half.run(4)
+    resumed = restore_checkpoint(capture_checkpoint(half))
+    resumed.run(4)
+    _assert_same_tail(full, resumed, split=4)
+    assert resumed.chain.pruned_blocks == full.chain.pruned_blocks
+    assert len(resumed.chain.blocks) == params.chain_retention
+    assert resumed.chain.verify()
+
+
+def test_warm_start_policy_override():
+    """The warm-start hook: a policy-free prefix checkpoint resumed with
+    a policy starts that policy's driver fresh (empty log), while
+    resuming with the captured (absent) policy stays policy-free."""
+    half = create_backend("cycledger", _params(), adversary=AdversaryConfig(fraction=0.2))
+    half.run(3)
+    state = capture_checkpoint(half)
+    arm = restore_checkpoint(state, policy=POLICY_PRESETS["adaptive-corruption"])
+    assert arm.policy_driver is not None
+    assert arm.policy_driver.log == []
+    baseline = restore_checkpoint(state)
+    assert baseline.policy_driver is None
+    arm.run(3)
+    baseline.run(3)
+    # The two arms share the prefix but diverge once the policy acts.
+    assert arm.round_number == baseline.round_number
+
+
+def test_version_mismatch_rejected():
+    half = create_backend("cycledger", _params())
+    half.run(1)
+    state = capture_checkpoint(half)
+    state["version"] = CHECKPOINT_VERSION + 1
+    with pytest.raises(ValueError, match="version"):
+        restore_checkpoint(state)
+
+
+def test_roster_mismatch_rejected():
+    """A checkpoint restored against a different deterministic roster
+    (different seed ⇒ different keys) must fail loudly, not corrupt."""
+    half = create_backend("cycledger", _params())
+    half.run(2)
+    state = capture_checkpoint(half)
+    state["params"] = _params(seed=8)
+    with pytest.raises(ValueError, match="roster"):
+        restore_checkpoint(state)

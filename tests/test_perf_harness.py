@@ -292,6 +292,7 @@ EXPECTED_TOP_KEYS = {"schema", "version", "host", "calibration", "settings", "ca
 EXPECTED_CASE_KEYS = {
     "name", "category", "backend", "description", "n", "ops", "ops_per_sec",
     "normalized_ops", "sim_time", "wall", "baseline_wall", "speedup", "hotspots",
+    "soak",  # None off-category; the soak: family's endurance block
 }
 EXPECTED_WALL_KEYS = {"median_s", "p95_s", "min_s", "mean_s", "repeats"}
 

@@ -103,8 +103,9 @@ def test_missing_artifacts_require_write_baseline():
 def test_write_baseline_merges_standard_and_curve_cases(
     tmp_path, monkeypatch
 ):
-    """--write-baseline runs micro/round under --scales and the scale:
-    family on its pinned curve, merging both into one sorted artifact."""
+    """--write-baseline runs micro/round under --scales, the scale:
+    family on its pinned curve, and the soak: family's endurance run,
+    merging all three into one sorted artifact."""
     calls = []
 
     def fake_run_cases(names, settings, scales=(), repeats=5, progress=None,
@@ -130,14 +131,42 @@ def test_write_baseline_merges_standard_and_curve_cases(
         ["--write-baseline", "--out", str(out), "--scales", "24",
          "--repeats", "3"]
     ) == 0
-    standard_call, curve_call = calls
+    standard_call, curve_call, soak_call = calls
     assert all(
         n.startswith(("micro:", "round:")) for n in standard_call[0]
     ) and standard_call[1] == (24,) and standard_call[2] == 3
     assert all(n.startswith("scale:") for n in curve_call[0])
     assert curve_call[1] == ()  # pinned curve axis, no explicit scales
+    assert all(n.startswith("soak:") for n in soak_call[0])
+    assert soak_call[1] == ()  # pinned soak axis
     payload = json.loads(out.read_text())
     names = [row["name"] for row in payload["cases"]]
     assert names == sorted(names)
     assert any(n.startswith("scale:") for n in names)
     assert any(n.startswith("round:") for n in names)
+    assert any(n.startswith("soak:") for n in names)
+
+
+def test_diff_reports_one_sided_cases_with_filter(artifacts, capsys):
+    """--cases naming a one-sided case reports it (added/removed) instead
+    of exiting; only a case in neither artifact is an error."""
+    old, new = artifacts
+    assert bench_diff.main(
+        [old, new, "--cases", "round:gone,round:cycledger_overlap"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "round:gone" in out and "removed" in out
+    assert "round:cycledger_overlap" in out and "added" in out
+    assert "micro:mac_sign" not in out
+
+
+def test_diff_survives_disjoint_artifacts(tmp_path, capsys):
+    """Two artifacts with no shared cases still produce a report."""
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    old.write_text(json.dumps(_artifact({"round:retired": 0.4})))
+    new.write_text(json.dumps(_artifact({"soak:cycledger": 9.0})))
+    assert bench_diff.main([str(old), str(new)]) == 0
+    out = capsys.readouterr().out
+    assert "round:retired" in out and "removed" in out
+    assert "soak:cycledger" in out and "added" in out

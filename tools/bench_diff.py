@@ -17,8 +17,9 @@ then no longer reads as a 2x regression.
 ``--write-baseline`` regenerates the committed baseline instead of
 diffing: it runs the full documented baseline protocol in-process —
 micro + round cases across ``--scales`` at ``--repeats`` repeats, plus
-the ``scale:`` family on its pinned n-axis (the scalability curve) —
-and writes the merged artifact to ``--out`` (default: the repo-root
+the ``scale:`` family on its pinned n-axis (the scalability curve) and
+the ``soak:`` family's long-horizon bounded-memory endurance run — and
+writes the merged artifact to ``--out`` (default: the repo-root
 ``BENCH_perf.json``).  This path imports :mod:`repro.perf`, so run it
 from the repo root (``src/`` is added to ``sys.path`` automatically).
 
@@ -70,8 +71,10 @@ def write_baseline(out: str, scales: list[int], repeats: int) -> int:
 
     Micro + round cases run under the documented baseline protocol
     (``--scales``/``--repeats``); the ``scale:`` family then rides its own
-    pinned curve axis (n=128→4096, per-case caps and repeat clamps apply)
-    and the two case lists merge into one artifact.
+    pinned curve axis (n=128→4096, per-case caps and repeat clamps apply);
+    the ``soak:`` family runs last (one repeat of the long-horizon
+    bounded-memory endurance loop, RSS-plateau gate included); the three
+    case lists merge into one artifact.
     """
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     sys.path.insert(0, os.path.join(repo_root, "src"))
@@ -85,23 +88,26 @@ def write_baseline(out: str, scales: list[int], repeats: int) -> int:
         )
 
     settings = PerfSettings()
-    standard = [
-        name
-        for name, case in sorted(PERF_REGISTRY.items())
-        if case.category in ("micro", "round")
-    ]
-    curve = [
-        name
-        for name, case in sorted(PERF_REGISTRY.items())
-        if case.category == "scale"
-    ]
+
+    def family(*categories: str) -> list[str]:
+        return [
+            name
+            for name, case in sorted(PERF_REGISTRY.items())
+            if case.category in categories
+        ]
+
     payload = run_cases(
-        standard, settings, scales=scales, repeats=repeats, progress=progress
+        family("micro", "round"),
+        settings,
+        scales=scales,
+        repeats=repeats,
+        progress=progress,
     )
-    # No explicit scales: each scale case uses its pinned curve axis.
-    curve_payload = run_cases(curve, settings, progress=progress)
+    # No explicit scales: scale/soak cases use their pinned axes.
+    curve_payload = run_cases(family("scale"), settings, progress=progress)
+    soak_payload = run_cases(family("soak"), settings, progress=progress)
     payload["cases"] = sorted(
-        payload["cases"] + curve_payload["cases"],
+        payload["cases"] + curve_payload["cases"] + soak_payload["cases"],
         key=lambda row: (row["name"], row["n"]),
     )
     write_bench(out, payload)
@@ -137,7 +143,8 @@ def main(argv: list[str] | None = None) -> int:
         "--write-baseline",
         action="store_true",
         help="regenerate the committed baseline (micro+round at --scales/"
-        "--repeats, scale: family on its pinned curve) instead of diffing",
+        "--repeats, scale: family on its pinned curve, soak: family's "
+        "endurance run) instead of diffing",
     )
     parser.add_argument(
         "--out",
@@ -175,15 +182,22 @@ def main(argv: list[str] | None = None) -> int:
     scale = calibration_ratio(args.old, args.new) if args.normalize else 1.0
 
     shared = sorted(set(old_cases) & set(new_cases))
+    only_old = sorted(set(old_cases) - set(new_cases))
+    only_new = sorted(set(new_cases) - set(old_cases))
     if wanted is not None:
         shared = [key for key in shared if key[0] in wanted]
-        missing = wanted - {name for name, _ in shared}
+        only_old = [key for key in only_old if key[0] in wanted]
+        only_new = [key for key in only_new if key[0] in wanted]
+        # A wanted case present in just one artifact is reportable (it was
+        # added or removed); only a case in NEITHER artifact is an error.
+        present = {name for name, _ in shared + only_old + only_new}
+        missing = wanted - present
         if missing:
             raise SystemExit(
-                f"case(s) {sorted(missing)} absent from one artifact"
+                f"case(s) {sorted(missing)} absent from both artifacts"
             )
-    if not shared:
-        raise SystemExit("no cases in common between the two artifacts")
+    if not shared and not only_old and not only_new:
+        raise SystemExit("no cases in either artifact")
 
     header = f"{'case':<26} {'n':>5} {'old ms':>10} {'new ms':>10} {'delta':>8}"
     print(header)
@@ -199,12 +213,15 @@ def main(argv: list[str] | None = None) -> int:
             flag = "  REGRESSED"
         print(f"{name:<26} {n:>5} {old_ms:>10.3f} {new_ms:>10.3f} "
               f"{delta:>+7.1f}%{flag}")
-    only_old = sorted(set(old_cases) - set(new_cases))
-    only_new = sorted(set(new_cases) - set(old_cases))
-    if only_old:
-        print(f"only in {args.old}: {[f'{n}@{s}' for n, s in only_old]}")
-    if only_new:
-        print(f"only in {args.new}: {[f'{n}@{s}' for n, s in only_new]}")
+    # One-sided cases (added or removed between the two artifacts) are
+    # reported with their own medians instead of being silently dropped —
+    # a new soak: row or a retired case shows up in the diff.
+    for name, n in only_old:
+        old_ms = old_cases[(name, n)]["wall"]["median_s"] * 1e3 / scale
+        print(f"{name:<26} {n:>5} {old_ms:>10.3f} {'-':>10} {'removed':>8}")
+    for name, n in only_new:
+        new_ms = new_cases[(name, n)]["wall"]["median_s"] * 1e3
+        print(f"{name:<26} {n:>5} {'-':>10} {new_ms:>10.3f} {'added':>8}")
     if args.normalize:
         print(f"(old medians rescaled by calibration ratio {scale:.3f})")
 
